@@ -1,0 +1,171 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// each isolates one knob of the model or the study and verifies the
+// tradeoff it is supposed to buy, reporting the measured deltas as
+// benchmark metrics.
+//
+//	BenchmarkAblationRepeaterSlack   - max-repeater-delay constraint (Section 2.4)
+//	BenchmarkAblationSleepTransistors- Xeon-style leakage control (Section 2.5)
+//	BenchmarkAblationAccessMode      - normal vs sequential cache access (Section 3.4)
+//	BenchmarkAblationPagePolicy      - open vs closed page main memory (Section 2.1)
+//	BenchmarkAblationPageMapping     - Figure 3 set-to-page mappings (Section 3.4)
+//	BenchmarkAblationPowerDown       - DRAM power-down modes (Section 6)
+//	BenchmarkAblationEDvsC           - config ED vs config C optimizer targets (Section 4.1)
+package cactid
+
+import (
+	"testing"
+
+	"cactid/internal/core"
+	simpkg "cactid/internal/sim"
+	"cactid/internal/sim/memctl"
+	"cactid/internal/sim/workload"
+	"cactid/internal/tech"
+)
+
+func BenchmarkAblationRepeaterSlack(b *testing.B) {
+	base := core.Spec{
+		Node: tech.Node32, RAM: tech.SRAM, CapacityBytes: 16 << 20,
+		BlockBytes: 64, Associativity: 8, IsCache: true,
+	}
+	relaxed := base
+	relaxed.MaxRepeaterSlack = 0.5
+	var dAcc, dE float64
+	for i := 0; i < b.N; i++ {
+		s0, err0 := core.Optimize(base)
+		s1, err1 := core.Optimize(relaxed)
+		if err0 != nil || err1 != nil {
+			b.Fatal(err0, err1)
+		}
+		dAcc = s1.AccessTime/s0.AccessTime - 1
+		dE = 1 - s1.EReadPerAccess/s0.EReadPerAccess
+	}
+	b.ReportMetric(dAcc*100, "%acc-penalty")
+	b.ReportMetric(dE*100, "%energy-saved")
+}
+
+func BenchmarkAblationSleepTransistors(b *testing.B) {
+	base := core.Spec{
+		Node: tech.Node65, RAM: tech.SRAM, CapacityBytes: 16 << 20,
+		BlockBytes: 64, Associativity: 16, IsCache: true, Mode: core.Sequential,
+	}
+	slept := base
+	slept.SleepTransistors = true
+	var saving float64
+	for i := 0; i < b.N; i++ {
+		s0, err0 := core.Optimize(base)
+		s1, err1 := core.Optimize(slept)
+		if err0 != nil || err1 != nil {
+			b.Fatal(err0, err1)
+		}
+		saving = 1 - s1.LeakagePower/s0.LeakagePower
+		if saving <= 0 {
+			b.Fatal("sleep transistors saved nothing")
+		}
+	}
+	b.ReportMetric(saving*100, "%leak-saved")
+}
+
+func BenchmarkAblationAccessMode(b *testing.B) {
+	normal := core.Spec{
+		Node: tech.Node32, RAM: tech.SRAM, CapacityBytes: 8 << 20,
+		BlockBytes: 64, Associativity: 8, IsCache: true, Mode: core.Normal,
+	}
+	seq := normal
+	seq.Mode = core.Sequential
+	var dE, dT float64
+	for i := 0; i < b.N; i++ {
+		n, err0 := core.Optimize(normal)
+		s, err1 := core.Optimize(seq)
+		if err0 != nil || err1 != nil {
+			b.Fatal(err0, err1)
+		}
+		dE = 1 - s.EReadPerAccess/n.EReadPerAccess
+		dT = s.AccessTime/n.AccessTime - 1
+	}
+	b.ReportMetric(dE*100, "%energy-saved")
+	b.ReportMetric(dT*100, "%latency-penalty")
+}
+
+// ablationSimConfig builds a small simulation for the page-policy and
+// power-down ablations.
+func ablationSimConfig(b *testing.B, policy memctl.PagePolicy, powerDown bool) simpkg.Config {
+	b.Helper()
+	p, err := workload.ByName("ft.B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.HotBytes /= 8
+	p.WSBytes /= 8
+	return simpkg.Config{
+		Cores: 8, ThreadsPerCore: 4, LineBytes: 64,
+		L1Bytes: 4 << 10, L1Ways: 8, L2Bytes: 128 << 10, L2Ways: 8,
+		L1HitCycles: 2, L2HitCycles: 3,
+		Mem: memctl.Config{
+			Channels: 2, BanksPerChannel: 8, PageBytes: 8192, LineBytes: 64,
+			Policy:    policy,
+			Timing:    memctl.Timing{TRCD: 21, CAS: 14, TRP: 15, TRAS: 78, TRC: 99, TRRD: 5, Burst: 3},
+			PowerDown: powerDown, PowerDownAfter: 200, WakeupCycles: 12,
+		},
+		Workload: p, InstrBudget: 2_000_000, WarmupFrac: 0.25, Seed: 42,
+	}
+}
+
+func BenchmarkAblationPagePolicy(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		open := simpkg.Run(ablationSimConfig(b, memctl.OpenPage, false))
+		closed := simpkg.Run(ablationSimConfig(b, memctl.ClosedPage, false))
+		ratio = float64(closed.Cycles) / float64(open.Cycles)
+	}
+	b.ReportMetric(ratio, "closed/open-cycles")
+}
+
+func BenchmarkAblationPageMapping(b *testing.B) {
+	s := getStudy(b)
+	var setMapped, striped float64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Run("sp.C", "cm_dram_c", 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ev := r.Sim.Events
+		if ev.L3PageProbes == 0 {
+			b.Fatal("no page probes")
+		}
+		setMapped = float64(ev.L3PageHitsSetMapped) / float64(ev.L3PageProbes)
+		striped = float64(ev.L3PageHitsStriped) / float64(ev.L3PageProbes)
+	}
+	b.ReportMetric(setMapped*100, "%pagehit-setmapped")
+	b.ReportMetric(striped*100, "%pagehit-striped")
+}
+
+func BenchmarkAblationPowerDown(b *testing.B) {
+	s := getStudy(b)
+	var saving, slowdown float64
+	for i := 0; i < b.N; i++ {
+		without, with, err := s.PowerDownExperiment("ua.C", "cm_dram_c", 42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		saving = 1 - with.Power.MemStandby/without.Power.MemStandby
+		slowdown = float64(with.Sim.Cycles)/float64(without.Sim.Cycles) - 1
+	}
+	b.ReportMetric(saving*100, "%standby-saved")
+	b.ReportMetric(slowdown*100, "%slowdown")
+}
+
+func BenchmarkAblationEDvsC(b *testing.B) {
+	s := getStudy(b)
+	var cycleRatio, effRatio float64
+	for i := 0; i < b.N; i++ {
+		ed := s.L3["cm_dram_ed"]
+		c := s.L3["cm_dram_c"]
+		cycleRatio = c.InterleaveCycle / ed.InterleaveCycle
+		effRatio = c.AreaEff / ed.AreaEff
+		if cycleRatio <= 1 {
+			b.Fatal("config C should cycle slower than config ED")
+		}
+	}
+	b.ReportMetric(cycleRatio, "C/ED-cycle")
+	b.ReportMetric(effRatio, "C/ED-efficiency")
+}

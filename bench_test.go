@@ -1,0 +1,231 @@
+// Package cactid's root benchmark harness regenerates every table and
+// figure of the paper, one benchmark per artifact:
+//
+//	BenchmarkTable1              - technology characteristics (Table 1)
+//	BenchmarkFigure1Xeon         - 65nm Xeon L3 SRAM validation sweep (Figure 1)
+//	BenchmarkTable2Micron        - 78nm Micron DDR3-1066 validation (Table 2)
+//	BenchmarkTable3Projections   - 32nm hierarchy projections (Table 3)
+//	BenchmarkFigure4aIPC         - IPC / read latency runs (Figure 4a)
+//	BenchmarkFigure4bBreakdown   - execution-cycle breakdown (Figure 4b)
+//	BenchmarkFigure5aPower       - memory-hierarchy power (Figure 5a)
+//	BenchmarkFigure5bEDP         - system power + energy-delay (Figure 5b)
+//	BenchmarkThermal             - stacked-die thermal check (Section 4.3)
+//
+// plus micro-benchmarks of the substrates (solver enumeration, mat
+// evaluation, DRAM chip model, simulator throughput). Run with:
+//
+//	go test -bench=. -benchmem
+package cactid
+
+import (
+	"sync"
+	"testing"
+
+	"cactid/internal/array"
+	"cactid/internal/core"
+	"cactid/internal/dram"
+	"cactid/internal/mat"
+	"cactid/internal/sim/stats"
+	"cactid/internal/study"
+	"cactid/internal/tech"
+	"cactid/internal/validate"
+)
+
+var (
+	studyOnce sync.Once
+	theStudy  *study.Study
+	studyErr  error
+)
+
+func getStudy(b *testing.B) *study.Study {
+	b.Helper()
+	studyOnce.Do(func() {
+		theStudy, studyErr = study.New(8, 2_000_000)
+	})
+	if studyErr != nil {
+		b.Fatal(studyErr)
+	}
+	return theStudy
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := tech.Table1(tech.Node32); len(rows) != 9 {
+			b.Fatal("Table 1 wrong")
+		}
+	}
+}
+
+func BenchmarkFigure1Xeon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := validate.Xeon()
+		if err != nil || r.AvgError > 0.25 {
+			b.Fatalf("Xeon validation failed: %v / %.2f", err, r.AvgError)
+		}
+	}
+}
+
+func BenchmarkTable2Micron(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := validate.Micron()
+		if err != nil || validate.AvgAbsError(rows) > 0.16 {
+			b.Fatal("Micron validation failed")
+		}
+	}
+}
+
+func BenchmarkTable3Projections(b *testing.B) {
+	s := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := s.Table3(); len(rows) != 8 {
+			b.Fatal("Table 3 wrong")
+		}
+	}
+}
+
+// figureRun executes a representative slice of the study sweep (one
+// L3-sensitive and one L3-insensitive benchmark on the paper's
+// baseline and best configurations).
+func figureRun(b *testing.B) map[string]map[string]*study.RunResult {
+	b.Helper()
+	s := getStudy(b)
+	runs := map[string]map[string]*study.RunResult{}
+	for _, bm := range []string{"ft.B", "cg.C"} {
+		runs[bm] = map[string]*study.RunResult{}
+		for _, cn := range []string{"nol3", "sram", "cm_dram_c"} {
+			r, err := s.Run(bm, cn, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			runs[bm][cn] = r
+		}
+	}
+	return runs
+}
+
+func BenchmarkFigure4aIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := figureRun(b)
+		if runs["ft.B"]["cm_dram_c"].Sim.IPC <= runs["ft.B"]["nol3"].Sim.IPC {
+			b.Fatal("Figure 4a shape violated: L3 must help ft.B")
+		}
+	}
+}
+
+func BenchmarkFigure4bBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := figureRun(b)
+		no := runs["ft.B"]["nol3"].Sim.Breakdown
+		if no.Mem <= no.Busy {
+			b.Fatal("Figure 4b shape violated: nol3 ft.B must be memory-bound")
+		}
+	}
+}
+
+func BenchmarkFigure5aPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := figureRun(b)
+		sram := runs["cg.C"]["sram"].Power
+		cm := runs["cg.C"]["cm_dram_c"].Power
+		if sram.MemoryHierarchy() <= cm.MemoryHierarchy() {
+			b.Fatal("Figure 5a shape violated: SRAM L3 must burn more than COMM-DRAM")
+		}
+	}
+}
+
+func BenchmarkFigure5bEDP(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runs := figureRun(b)
+		if runs["ft.B"]["cm_dram_c"].EDP >= runs["ft.B"]["nol3"].EDP {
+			b.Fatal("Figure 5b shape violated: COMM-DRAM L3 must improve ft.B EDP")
+		}
+	}
+}
+
+func BenchmarkThermal(b *testing.B) {
+	s := getStudy(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := s.ThermalDelta()
+		if err != nil || d > 1.5 {
+			b.Fatalf("thermal check failed: %v / %.2fK", err, d)
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+func BenchmarkMatModel(b *testing.B) {
+	t := tech.New(tech.Node32)
+	for i := 0; i < b.N; i++ {
+		if _, err := mat.New(mat.Config{Tech: t, RAM: tech.COMMDRAM, Rows: 512, Cols: 512, DegBLMux: 8}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkArrayEnumerate(b *testing.B) {
+	t := tech.New(tech.Node32)
+	spec := array.Spec{Tech: t, RAM: tech.SRAM, CapacityBytes: 1 << 20, OutputBits: 512, AssocReadout: 1}
+	for i := 0; i < b.N; i++ {
+		if banks := array.Enumerate(spec); len(banks) == 0 {
+			b.Fatal("no organizations")
+		}
+	}
+}
+
+func BenchmarkSolverOptimize(b *testing.B) {
+	spec := core.Spec{
+		Node: tech.Node32, RAM: tech.SRAM, CapacityBytes: 4 << 20,
+		BlockBytes: 64, Associativity: 8, IsCache: true,
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Optimize(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDRAMChip(b *testing.B) {
+	t78 := tech.New(78)
+	for i := 0; i < b.N; i++ {
+		_, err := dram.NewChip(dram.ChipConfig{
+			Tech: t78, CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+			BurstLength: 8, PageBits: 8192, DataRateMTps: 1066,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulator(b *testing.B) {
+	s := getStudy(b)
+	b.ResetTimer()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		r, err := s.Run("ua.C", "cm_dram_c", uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += r.Sim.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkPowerModel(b *testing.B) {
+	s := getStudy(b)
+	r, err := s.Run("cg.C", "lp_dram_ed", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := s.Energies("lp_dram_ed")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := stats.Compute(r.Sim, e)
+		if p.System() <= 0 {
+			b.Fatal("bad power")
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Command cactid is the CLI front-end of the CACTI-D model: it takes
+// a cache or memory specification and prints the optimized solution
+// (or, with -explore, the whole design space). It can also print the
+// technology characteristics table (-table1) and model a main-memory
+// DRAM chip (-chip).
+//
+// Examples:
+//
+//	cactid -size 4MB -assoc 8 -node 32 -ram sram
+//	cactid -size 96MB -assoc 12 -banks 8 -ram comm-dram -mode sequential -page 8192
+//	cactid -chip -size 1Gb -node 78 -pins 8 -burst 8 -page 8192 -rate 1066
+//	cactid -table1 -node 32
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cactid/internal/core"
+	"cactid/internal/dram"
+	"cactid/internal/tech"
+)
+
+func parseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	up := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(up, "GB"):
+		mult, s = 1<<30, s[:len(s)-2]
+	case strings.HasSuffix(up, "MB"):
+		mult, s = 1<<20, s[:len(s)-2]
+	case strings.HasSuffix(up, "KB"):
+		mult, s = 1<<10, s[:len(s)-2]
+	case strings.HasSuffix(up, "GB8"), strings.HasSuffix(up, "GB"):
+		mult, s = 1<<30, s[:len(s)-2]
+	case strings.HasSuffix(up, "GBIT"), strings.HasSuffix(up, "G"):
+		mult, s = 1<<30/8, strings.TrimSuffix(strings.TrimSuffix(s, "bit"), "G")
+	case strings.HasSuffix(up, "B"):
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+func parseRAM(s string) (tech.RAMType, error) {
+	switch strings.ToLower(s) {
+	case "sram":
+		return tech.SRAM, nil
+	case "lp-dram", "lpdram", "lp":
+		return tech.LPDRAM, nil
+	case "comm-dram", "commdram", "comm", "cm":
+		return tech.COMMDRAM, nil
+	}
+	return 0, fmt.Errorf("unknown RAM type %q (sram, lp-dram, comm-dram)", s)
+}
+
+func main() {
+	var (
+		size    = flag.String("size", "1MB", "capacity (e.g. 32KB, 4MB; for -chip: 1Gb as 128MB)")
+		block   = flag.Int("block", 64, "block size in bytes")
+		assoc   = flag.Int("assoc", 1, "associativity (1 = direct-mapped / plain memory)")
+		banks   = flag.Int("banks", 1, "number of banks")
+		node    = flag.Int("node", 32, "technology node in nm (32-90)")
+		ram     = flag.String("ram", "sram", "memory technology: sram, lp-dram, comm-dram")
+		isCache = flag.Bool("cache", true, "model a cache (tags + way select)")
+		mode    = flag.String("mode", "normal", "access mode: normal, sequential, or fast")
+		page    = flag.Int("page", 0, "DRAM page size in bits (0 = unconstrained)")
+		pipe    = flag.Int("pipeline", 8, "max pipeline stages")
+		maxArea = flag.Float64("maxarea", 0.4, "max area constraint (fraction over best)")
+		maxAcc  = flag.Float64("maxacctime", 0.1, "max access time constraint")
+		slack   = flag.Float64("repeaterslack", 0, "max repeater delay slack")
+		sleep   = flag.Bool("sleep", false, "model sleep transistors")
+		explore = flag.Bool("explore", false, "print the full solution space")
+		report  = flag.Bool("report", false, "print the detailed CACTI-style breakdown")
+		asJSON  = flag.Bool("json", false, "print the solution as JSON")
+		table1  = flag.Bool("table1", false, "print the Table 1 technology characteristics")
+		chip    = flag.Bool("chip", false, "model a main-memory DRAM chip")
+		pins    = flag.Int("pins", 8, "chip: data pins (x4/x8/x16)")
+		burst   = flag.Int("burst", 8, "chip: burst length")
+		rate    = flag.Float64("rate", 1066, "chip: data rate in MT/s")
+		idd     = flag.Bool("idd", false, "chip: also print the datasheet-style IDD report")
+	)
+	flag.Parse()
+
+	if *table1 {
+		fmt.Print(tech.FormatTable1(tech.Node(*node)))
+		return
+	}
+
+	capBytes, err := parseSize(*size)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *chip {
+		pageBits := *page
+		if pageBits == 0 {
+			pageBits = 8192
+		}
+		c, err := dram.NewChip(dram.ChipConfig{
+			Tech:         tech.New(tech.Node(*node)),
+			CapacityBits: capBytes * 8, Banks: *banks, DataPins: *pins,
+			BurstLength: *burst, PageBits: pageBits, DataRateMTps: *rate,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(c)
+		fmt.Printf("  area %.1f mm2, efficiency %.1f%%\n", c.Area*1e6, c.AreaEff*100)
+		fmt.Printf("  tRCD %.2fns  CL %.2fns  tRP %.2fns  tRAS %.2fns  tRC %.2fns  tRRD %.2fns\n",
+			c.Timing.TRCD*1e9, c.Timing.CAS*1e9, c.Timing.TRP*1e9,
+			c.Timing.TRAS*1e9, c.Timing.TRC*1e9, c.Timing.TRRD*1e9)
+		fmt.Printf("  ACT %.3gnJ  RD %.3gnJ  WR %.3gnJ  refresh %.3gmW  standby %.3gmW\n",
+			c.EActivate*1e9, c.ERead*1e9, c.EWrite*1e9, c.RefreshPower*1e3, c.StandbyPower*1e3)
+		if *idd {
+			fmt.Print(c.IDDReport())
+		}
+		return
+	}
+
+	ramType, err := parseRAM(*ram)
+	if err != nil {
+		fatal(err)
+	}
+	am := core.Normal
+	switch {
+	case strings.HasPrefix(strings.ToLower(*mode), "seq"):
+		am = core.Sequential
+	case strings.HasPrefix(strings.ToLower(*mode), "fast"):
+		am = core.Fast
+	}
+	spec := core.Spec{
+		Node: tech.Node(*node), RAM: ramType,
+		CapacityBytes: capBytes, BlockBytes: *block,
+		Associativity: *assoc, Banks: *banks,
+		IsCache: *isCache && *assoc > 0, Mode: am,
+		PageBits: *page, MaxPipelineStages: *pipe,
+		MaxAreaConstraint: *maxArea, MaxAcctimeConstraint: *maxAcc,
+		MaxRepeaterSlack: *slack, SleepTransistors: *sleep,
+	}
+	if *explore {
+		sols, err := core.Explore(spec)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d feasible organizations:\n", len(sols))
+		for _, s := range core.Filter(spec, sols) {
+			fmt.Println(" ", s)
+		}
+		return
+	}
+	sol, err := core.Optimize(spec)
+	if err != nil {
+		fatal(err)
+	}
+	if *report {
+		fmt.Print(core.Report(sol))
+		return
+	}
+	if *asJSON {
+		out, err := json.MarshalIndent(solutionJSON(sol), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+		return
+	}
+	fmt.Println(sol)
+	fmt.Printf("  access %.3fns  random cycle %.3fns  interleave cycle %.3fns (%d pipeline stages)\n",
+		sol.AccessTime*1e9, sol.RandomCycle*1e9, sol.InterleaveCycle*1e9, sol.Data.PipelineStages)
+	fmt.Printf("  area %.3f mm2 (%.3f per bank), efficiency %.1f%%\n",
+		sol.Area*1e6, sol.BankArea*1e6, sol.AreaEff*100)
+	fmt.Printf("  read %.3gnJ  write %.3gnJ  leakage %.3gW  refresh %.3gW\n",
+		sol.EReadPerAccess*1e9, sol.EWritePerAccess*1e9, sol.LeakagePower, sol.RefreshPower)
+	if sol.Tag != nil {
+		fmt.Printf("  tag array: %v\n", sol.Tag.Org)
+	}
+}
+
+// solutionJSON flattens a solution into the fields scripts consume.
+func solutionJSON(s *core.Solution) map[string]any {
+	m := map[string]any{
+		"ram":                s.Spec.RAM.String(),
+		"node_nm":            int(s.Spec.Node),
+		"capacity_bytes":     s.Spec.CapacityBytes,
+		"block_bytes":        s.Spec.BlockBytes,
+		"associativity":      s.Spec.Associativity,
+		"banks":              s.Spec.Banks,
+		"access_mode":        s.Spec.Mode.String(),
+		"access_time_s":      s.AccessTime,
+		"random_cycle_s":     s.RandomCycle,
+		"interleave_cycle_s": s.InterleaveCycle,
+		"area_m2":            s.Area,
+		"bank_area_m2":       s.BankArea,
+		"area_efficiency":    s.AreaEff,
+		"read_energy_j":      s.EReadPerAccess,
+		"write_energy_j":     s.EWritePerAccess,
+		"leakage_w":          s.LeakagePower,
+		"refresh_w":          s.RefreshPower,
+		"data_organization":  s.Data.Org.String(),
+		"pipeline_stages":    s.Data.PipelineStages,
+	}
+	if s.Tag != nil {
+		m["tag_organization"] = s.Tag.Org.String()
+	}
+	return m
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cactid:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"cactid/internal/tech"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"64":    64,
+		"512B":  512,
+		"32KB":  32 << 10,
+		"4MB":   4 << 20,
+		"2GB":   2 << 30,
+		"1.5MB": 3 << 19,
+		"8kb":   8 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil {
+			t.Errorf("parseSize(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12XB", "MB"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseRAM(t *testing.T) {
+	cases := map[string]tech.RAMType{
+		"sram": tech.SRAM, "SRAM": tech.SRAM,
+		"lp-dram": tech.LPDRAM, "lpdram": tech.LPDRAM, "lp": tech.LPDRAM,
+		"comm-dram": tech.COMMDRAM, "comm": tech.COMMDRAM, "cm": tech.COMMDRAM,
+	}
+	for in, want := range cases {
+		got, err := parseRAM(in)
+		if err != nil || got != want {
+			t.Errorf("parseRAM(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseRAM("flash"); err == nil {
+		t.Error("unknown RAM type should fail")
+	}
+}

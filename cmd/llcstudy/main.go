@@ -1,0 +1,106 @@
+// Command llcstudy regenerates the paper's stacked last-level-cache
+// study: Table 3 (CACTI-D projections of all hierarchy levels at
+// 32nm), Figures 4(a)/(b) (IPC, average read latency and execution
+// cycle breakdown of the NPB workloads), Figures 5(a)/(b) (memory
+// hierarchy and system power breakdowns plus normalized energy-delay
+// product), and the Section 4.3 thermal check.
+//
+// Usage:
+//
+//	llcstudy -table3              # projections only (fast)
+//	llcstudy                      # full study (simulation; minutes)
+//	llcstudy -scale 8 -instr 8e6  # faster, coarser simulation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cactid/internal/study"
+)
+
+func main() {
+	var (
+		table3Only = flag.Bool("table3", false, "print Table 3 and exit (no simulation)")
+		thermal    = flag.Bool("thermal", false, "print the thermal check and exit")
+		scale      = flag.Int64("scale", 4, "capacity/working-set scaling divisor for simulation")
+		instr      = flag.Float64("instr", 16e6, "total instruction budget per run")
+		seed       = flag.Uint64("seed", 42, "workload seed")
+		csvDir     = flag.String("csv", "", "also export table/figure data as CSV into this directory")
+		chart      = flag.Bool("chart", false, "also render ASCII bar charts of Figures 4(a) and 5(b)")
+		powerdown  = flag.Bool("powerdown", false, "also run the Section 6 DRAM power-down experiment")
+		seeds      = flag.Int("seeds", 1, "average the figures over this many workload seeds")
+	)
+	flag.Parse()
+
+	s, err := study.New(*scale, int64(*instr))
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Print(study.FormatTable3(s.Table3()))
+	fmt.Println()
+	if *table3Only {
+		return
+	}
+
+	d, err := s.ThermalDelta()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("Thermal: max stacked-die temperature delta across L3 technologies = %.2fK (paper: <1.5K)\n\n", d)
+	if *thermal {
+		return
+	}
+
+	fmt.Printf("Running %d benchmarks x %d configurations (scale 1/%d, %.0fM instructions each, %d seed(s))...\n\n",
+		8, len(study.ConfigNames), *scale, *instr/1e6, *seeds)
+	runs, err := s.RunAll(*seed)
+	if err != nil {
+		fatal(err)
+	}
+	f := study.MakeFigures(runs)
+	if *seeds > 1 {
+		var list []uint64
+		for i := 0; i < *seeds; i++ {
+			list = append(list, *seed+uint64(i))
+		}
+		if f, err = s.AverageFigures(list, nil); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Print(f.FormatFig4())
+	fmt.Println()
+	fmt.Print(f.FormatFig5(runs))
+
+	if *chart {
+		fmt.Println()
+		fmt.Print(f.ChartFig4())
+		fmt.Println()
+		fmt.Print(f.ChartFig5())
+	}
+
+	if *csvDir != "" {
+		if err := study.ExportCSV(*csvDir, s.Table3(), f, runs); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nCSV data written to %s (table3, fig4, fig5, headlines)\n", *csvDir)
+	}
+
+	if *powerdown {
+		without, with, err := s.PowerDownExperiment("ua.C", "cm_dram_c", *seed)
+		if err != nil {
+			fatal(err)
+		}
+		saving := 1 - with.Power.MemStandby/without.Power.MemStandby
+		slowdown := float64(with.Sim.Cycles)/float64(without.Sim.Cycles) - 1
+		fmt.Printf("\nPower-down experiment (ua.C on cm_dram_c): standby %.2fW -> %.2fW (%.0f%% saved), slowdown %+.2f%%\n",
+			without.Power.MemStandby, with.Power.MemStandby, saving*100, slowdown*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llcstudy:", err)
+	os.Exit(1)
+}

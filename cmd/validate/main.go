@@ -1,0 +1,69 @@
+// Command validate regenerates the paper's model-validation results:
+// Figure 1 (65nm Intel Xeon 16MB L3 bubble chart), the 90nm Sun SPARC
+// 4MB L2 check, and Table 2 (78nm Micron 1Gb DDR3-1066 x8 DRAM).
+//
+// Usage:
+//
+//	validate            # run everything
+//	validate -xeon      # Figure 1 only
+//	validate -sparc     # SPARC L2 only
+//	validate -micron    # Table 2 only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cactid/internal/validate"
+)
+
+func main() {
+	var (
+		xeon   = flag.Bool("xeon", false, "run only the Xeon L3 validation (Figure 1)")
+		sparc  = flag.Bool("sparc", false, "run only the SPARC L2 validation")
+		micron = flag.Bool("micron", false, "run only the Micron DDR3 validation (Table 2)")
+		edram  = flag.Bool("edram", false, "run only the eDRAM macro (LP-DRAM) validation")
+	)
+	flag.Parse()
+	all := !*xeon && !*sparc && !*micron && !*edram
+
+	if all || *xeon {
+		r, err := validate.Xeon()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(validate.FormatBubbles(r))
+		fmt.Println()
+	}
+	if all || *sparc {
+		r, err := validate.SPARC()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("90nm SPARC 4MB L2: target acc %.2fns / %.1fmm2 / %.1fW; model acc %.2fns / %.1fmm2 / %.2fW; avg |error| %.1f%%\n\n",
+			r.Target.AccessTime*1e9, r.Target.Area*1e6, r.Target.Power,
+			r.Best.AccessTime*1e9, r.Best.Area*1e6, r.Best.Power, r.AvgError*100)
+	}
+	if all || *edram {
+		r, err := validate.EDRAMMacro()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("90nm LP-DRAM 2MB macro: acc %.2fns (target 1.7), row cycle %.2fns (target ~8), interleaved %.2fns (500MHz-capable: %v); avg |error| %.1f%%\n\n",
+			r.AccessTime*1e9, r.RandomCycle*1e9, r.InterleaveCycle*1e9, r.InterleaveCycle <= 2e-9, r.AvgError*100)
+	}
+	if all || *micron {
+		rows, chip, err := validate.Micron()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(validate.FormatTable2(rows))
+		fmt.Printf("(modeled device: %v)\n", chip)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "validate:", err)
+	os.Exit(1)
+}

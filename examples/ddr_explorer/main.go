@@ -1,0 +1,61 @@
+// ddr_explorer walks the main-memory DRAM chip design space: page
+// size, burst length and interface rate against the resulting timing
+// and command energies — the knobs Section 2.1 of the paper adds to
+// CACTI-D.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cactid/internal/dram"
+	"cactid/internal/tech"
+)
+
+func main() {
+	t := tech.New(78)
+
+	fmt.Println("1Gb x8 commodity DRAM at 78nm: page-size sweep (DDR3-1066, BL8)")
+	fmt.Printf("%8s %9s %8s %8s %8s %10s %10s\n", "page", "eff(%)", "tRCD", "tRC", "tRRD", "ACT(nJ)", "refr(mW)")
+	for _, page := range []int{4096, 8192, 16384} {
+		c, err := dram.NewChip(dram.ChipConfig{
+			Tech: t, CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+			BurstLength: 8, PageBits: page, DataRateMTps: 1066,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%7db %9.1f %7.1fn %7.1fn %7.1fn %10.2f %10.2f\n",
+			page, c.AreaEff*100, c.Timing.TRCD*1e9, c.Timing.TRC*1e9,
+			c.Timing.TRRD*1e9, c.EActivate*1e9, c.RefreshPower*1e3)
+	}
+
+	fmt.Println("\nData-rate sweep (8Gb x8 at 32nm, 8Kb page, BL8)")
+	fmt.Printf("%8s %9s %8s %10s %10s %12s\n", "MT/s", "CL(ns)", "tRC", "RD(nJ)", "burst(ns)", "standby(mW)")
+	for _, rate := range []float64{1600, 2400, 3200} {
+		c, err := dram.NewChip(dram.ChipConfig{
+			Tech: tech.New(tech.Node32), CapacityBits: 8 << 30, Banks: 8, DataPins: 8,
+			BurstLength: 8, PageBits: 8192, DataRateMTps: rate,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.0f %9.2f %7.1fn %10.2f %10.2f %12.1f\n",
+			rate, c.Timing.CAS*1e9, c.Timing.TRC*1e9, c.ERead*1e9,
+			c.Timing.TBurst*1e9, c.StandbyPower*1e3)
+	}
+
+	fmt.Println("\nBurst-length tradeoff (1Gb x8, 78nm, 8Kb page, DDR3-1066)")
+	fmt.Printf("%6s %10s %10s %12s\n", "BL", "RD(nJ)", "burst(ns)", "nJ per byte")
+	for _, bl := range []int{4, 8} {
+		c, err := dram.NewChip(dram.ChipConfig{
+			Tech: t, CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+			BurstLength: bl, PageBits: 8192, DataRateMTps: 1066,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bytes := float64(bl * 8 / 8)
+		fmt.Printf("%6d %10.2f %10.2f %12.3f\n", bl, c.ERead*1e9, c.Timing.TBurst*1e9, c.ERead*1e9/bytes)
+	}
+}

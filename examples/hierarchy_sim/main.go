@@ -1,0 +1,40 @@
+// hierarchy_sim runs a small end-to-end simulation of the complete
+// memory hierarchy — CACTI-D projections feeding the architectural
+// simulator — for one benchmark on two system configurations, and
+// prints the performance and power comparison. A miniature of the
+// paper's full LLC study.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cactid/internal/study"
+)
+
+func main() {
+	// Scale 8 and a small instruction budget keep this example quick.
+	s, err := study.New(8, 4_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Memory hierarchy (CACTI-D projections at 32nm):")
+	fmt.Printf("  L1 32KB:  %.2fns access, %.3gnJ/read\n", s.L1.AccessTime*1e9, s.L1.EReadPerAccess*1e9)
+	fmt.Printf("  L2 1MB:   %.2fns access, %.3gnJ/read\n", s.L2.AccessTime*1e9, s.L2.EReadPerAccess*1e9)
+	fmt.Printf("  L3 192MB COMM-DRAM: %.2fns access, leak %.3gW\n",
+		s.L3["cm_dram_c"].AccessTime*1e9, s.L3["cm_dram_c"].LeakagePower)
+	fmt.Printf("  Main memory: %v\n\n", s.MemChip)
+
+	for _, cfg := range []string{"nol3", "cm_dram_c"} {
+		r, err := s.Run("ft.B", cfg, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ft.B on %-10s IPC %.2f, avg read latency %.0f cycles\n", cfg, r.Sim.IPC, r.Sim.AvgReadLatency)
+		fmt.Printf("  memory hierarchy power %.2fW, system power %.2fW\n",
+			r.Power.MemoryHierarchy(), r.Power.System())
+	}
+	fmt.Println("\nAdding the stacked 192MB COMM-DRAM L3 filters most main-memory traffic at")
+	fmt.Println("almost no standby-power cost - the paper's headline result.")
+}

@@ -1,0 +1,37 @@
+// Quickstart: model a single cache with CACTI-D and print its key
+// properties. This is the smallest useful program against the public
+// solver API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cactid/internal/core"
+	"cactid/internal/tech"
+)
+
+func main() {
+	// A 2MB 8-way set-associative SRAM cache with 64B lines at the
+	// 32nm node, tags and data accessed in parallel.
+	sol, err := core.Optimize(core.Spec{
+		Node:          tech.Node32,
+		RAM:           tech.SRAM,
+		CapacityBytes: 2 << 20,
+		BlockBytes:    64,
+		Associativity: 8,
+		IsCache:       true,
+		Mode:          core.Normal,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("2MB 8-way SRAM cache @ 32nm:")
+	fmt.Printf("  access time:       %.3f ns\n", sol.AccessTime*1e9)
+	fmt.Printf("  random cycle:      %.3f ns\n", sol.RandomCycle*1e9)
+	fmt.Printf("  area:              %.2f mm^2 (%.0f%% efficient)\n", sol.Area*1e6, sol.AreaEff*100)
+	fmt.Printf("  read energy:       %.3f nJ per 64B line\n", sol.EReadPerAccess*1e9)
+	fmt.Printf("  leakage power:     %.3f W\n", sol.LeakagePower)
+	fmt.Printf("  data organization: %v\n", sol.Data.Org)
+}

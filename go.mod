@@ -1,0 +1,3 @@
+module cactid
+
+go 1.22

@@ -1,0 +1,336 @@
+// Package array models one bank of a CACTI-D memory: a grid of mats
+// connected by repeated H-tree address and data networks, organized
+// into subbanks (rows of mats that activate together). It enumerates
+// the internal partitioning choices (subarray rows/columns, column
+// mux degree) that CACTI-D's optimizer searches over, and evaluates
+// area, timing (access, random cycle, multisubbank interleave cycle),
+// energy, leakage and refresh for each organization.
+package array
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"cactid/internal/circuit"
+	"cactid/internal/mat"
+	"cactid/internal/tech"
+)
+
+// Spec is the input specification of a single bank.
+type Spec struct {
+	Tech *tech.Technology
+	RAM  tech.RAMType
+
+	// CapacityBytes is the data capacity of the bank.
+	CapacityBytes int64
+
+	// OutputBits is the number of bits the bank must deliver per
+	// access (for a cache data array, blocksize*8; for a tag array,
+	// the tag width; for a main-memory DRAM, the internal prefetch
+	// width).
+	OutputBits int
+
+	// AssocReadout is the number of associative ways read in
+	// parallel (normal access mode reads all ways and late-selects;
+	// sequential access and plain memories use 1).
+	AssocReadout int
+
+	// RouteAllWays routes every way over the data H-tree instead of
+	// way-selecting at the subbank edge (the "fast" access mode:
+	// data for all ways reaches the bank edge with the tags, at the
+	// cost of AssocReadout times the H-tree switching energy).
+	RouteAllWays bool
+
+	// PageBits, when positive, constrains the number of sense
+	// amplifiers activated per access (the DRAM page size,
+	// Section 2.1): subbank width is chosen so that exactly PageBits
+	// columns are sensed.
+	PageBits int
+
+	// MaxPipelineStages bounds the access-path pipelining used to
+	// improve the multisubbank interleave cycle time (the LLC study
+	// uses 6). Zero means 8.
+	MaxPipelineStages int
+
+	// RepeaterSlack is the paper's "max repeater delay constraint":
+	// 0 gives delay-optimal repeaters; larger values trade delay for
+	// energy.
+	RepeaterSlack float64
+
+	// SleepTransistors halves the leakage of all mats not activated
+	// during an access (modeled for the Xeon L3 validation).
+	SleepTransistors bool
+
+	// Ports is the number of independent read/write ports (SRAM
+	// only); zero means 1.
+	Ports int
+}
+
+// Org is one internal organization choice.
+type Org struct {
+	Rows int // wordlines per subarray
+	Cols int // columns per subarray
+	Mux  int // column mux degree
+
+	MatsPerSubbank int // mats activated together
+	Subbanks       int // independently addressable subbanks sharing the H-tree
+	Mats           int // total mats = MatsPerSubbank * Subbanks
+}
+
+func (o Org) String() string {
+	return fmt.Sprintf("%dx%d mux%d (%d mats = %d subbanks x %d)",
+		o.Rows, o.Cols, o.Mux, o.Mats, o.Subbanks, o.MatsPerSubbank)
+}
+
+// Bank is an evaluated organization.
+type Bank struct {
+	Spec Spec
+	Org  Org
+	Mat  *mat.Mat
+
+	// Geometry.
+	Width, Height float64
+	Area          float64
+	AreaEff       float64
+	MatsArea      float64 // area occupied by mats (cells + local periphery)
+	WireArea      float64 // H-tree wiring and repeaters
+
+	// Timing (s).
+	AccessTime      float64 // address in + mat + data out
+	RandomCycle     float64 // back-to-back accesses to one subbank
+	InterleaveCycle float64 // accesses interleaved across subbanks
+	HtreeInDelay    float64
+	HtreeOutDelay   float64
+	PipelineStages  int
+
+	// Per-access energy (J).
+	EActivate  float64 // row activation share (page open for DRAM)
+	ERead      float64 // column read incl. data return
+	EWrite     float64
+	EPrecharge float64
+
+	// Standby power (W).
+	Leakage      float64
+	RefreshPower float64
+}
+
+// EReadTotal returns the total energy of a random read access
+// (activate + read + precharge), the quantity CACTI-D's optimizer
+// weights as "dynamic energy".
+func (b *Bank) EReadTotal() float64 { return b.EActivate + b.ERead + b.EPrecharge }
+
+// ErrNoOrganization is returned when no valid internal organization
+// exists for a spec.
+var ErrNoOrganization = errors.New("array: no valid organization for spec")
+
+func pow2sUpTo(lo, hi int) []int {
+	var out []int
+	for v := lo; v <= hi; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Enumerate evaluates every valid organization for spec, returning
+// them in no particular order. Invalid combinations (signal margin,
+// divisibility) are skipped silently.
+func Enumerate(spec Spec) []*Bank {
+	var out []*Bank
+	for _, rows := range pow2sUpTo(32, 8192) {
+		for _, cols := range pow2sUpTo(32, 8192) {
+			for _, mux := range pow2sUpTo(1, 1024) {
+				if mux > cols {
+					continue
+				}
+				b, err := Build(spec, OrgFor(spec, rows, cols, mux))
+				if err != nil {
+					continue
+				}
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+// OrgFor derives the full organization implied by a (rows, cols, mux)
+// choice under spec's output and page constraints. The returned Org
+// may be invalid; Build validates.
+func OrgFor(spec Spec, rows, cols, mux int) Org {
+	o := Org{Rows: rows, Cols: cols, Mux: mux}
+	bitsPerMat := 4 * rows * cols
+	capacityBits := spec.CapacityBytes * 8
+	o.Mats = int((capacityBits + int64(bitsPerMat) - 1) / int64(bitsPerMat))
+
+	internalOut := spec.OutputBits * max(1, spec.AssocReadout)
+	if spec.PageBits > 0 {
+		// DRAM page constraint: sensed columns per subbank ==
+		// PageBits (all columns of the activated mats are sensed).
+		o.MatsPerSubbank = spec.PageBits / (4 * cols)
+	} else {
+		bitsPerMatOut := 4 * cols / mux
+		o.MatsPerSubbank = (internalOut + bitsPerMatOut - 1) / bitsPerMatOut
+	}
+	if o.MatsPerSubbank < 1 {
+		o.MatsPerSubbank = 0 // invalid; Build rejects
+		return o
+	}
+	o.Subbanks = o.Mats / o.MatsPerSubbank
+	return o
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Build evaluates one organization. It returns an error when the
+// organization is infeasible (mat-level signal margin, divisibility,
+// or output-width violations).
+func Build(spec Spec, o Org) (*Bank, error) {
+	if spec.CapacityBytes <= 0 || spec.OutputBits <= 0 {
+		return nil, fmt.Errorf("array: bad spec: capacity %d, output %d", spec.CapacityBytes, spec.OutputBits)
+	}
+	if o.MatsPerSubbank < 1 || o.Mats < 1 {
+		return nil, fmt.Errorf("array: org needs at least one mat: %v", o)
+	}
+	if o.MatsPerSubbank > o.Mats || o.Mats%o.MatsPerSubbank != 0 {
+		return nil, fmt.Errorf("array: %d mats not divisible into subbanks of %d", o.Mats, o.MatsPerSubbank)
+	}
+	if spec.PageBits > 0 && o.MatsPerSubbank*4*o.Cols != spec.PageBits {
+		return nil, fmt.Errorf("array: subbank senses %d bits, page requires %d", o.MatsPerSubbank*4*o.Cols, spec.PageBits)
+	}
+	internalOut := spec.OutputBits * max(1, spec.AssocReadout)
+	if got := o.MatsPerSubbank * 4 * o.Cols / o.Mux; got < internalOut {
+		return nil, fmt.Errorf("array: subbank delivers %d bits < required %d", got, internalOut)
+	}
+	// Reject gross overprovision (>2x the needed mats) so rounding
+	// from non-power-of-two capacities stays tight.
+	bitsPerMat := int64(4 * o.Rows * o.Cols)
+	if int64(o.Mats)*bitsPerMat > 2*spec.CapacityBytes*8 {
+		return nil, fmt.Errorf("array: organization wastes more than half the mats")
+	}
+
+	m, err := mat.New(mat.Config{Tech: spec.Tech, RAM: spec.RAM, Rows: o.Rows, Cols: o.Cols, DegBLMux: o.Mux, Ports: spec.Ports})
+	if err != nil {
+		return nil, err
+	}
+
+	t := spec.Tech
+	cell := t.Cell(spec.RAM)
+	per := t.Device(cell.PeripheralDevice)
+
+	b := &Bank{Spec: spec, Org: o, Mat: m}
+
+	// ---- Floorplan ----
+	// Fold the mat grid to near-square. Subbank rows are horizontal;
+	// multiple subbanks may share a grid row if a subbank is narrow.
+	gridX := o.MatsPerSubbank
+	gridY := o.Subbanks
+	for gridX >= 2*gridY && gridX%2 == 0 {
+		gridX /= 2
+		gridY *= 2
+	}
+	for gridY >= 2*gridX && gridY%2 == 0 {
+		gridY /= 2
+		gridX *= 2
+	}
+	matsW := float64(gridX) * m.Width
+	matsH := float64(gridY) * m.Height
+
+	// ---- H-tree networks ----
+	// Address in to the farthest subbank and data back out; worst
+	// case length is half the perimeter.
+	htreeLen := (matsW + matsH) / 2
+	wire := t.Wire(tech.WireGlobal)
+	addrBits := int(math.Ceil(math.Log2(float64(spec.CapacityBytes*8)))) + 8 // address + control
+	// Way select happens at the subbank edge, so only OutputBits
+	// travel the data H-tree even when all ways are read out —
+	// unless RouteAllWays (fast mode) ships every way to the edge.
+	dataBits := spec.OutputBits
+	if spec.RouteAllWays {
+		dataBits = internalOut
+	}
+
+	addrWire := circuit.NewRepeatedWire(per, wire, htreeLen, spec.RepeaterSlack)
+	dataWire := circuit.NewRepeatedWire(per, wire, htreeLen, spec.RepeaterSlack)
+	b.HtreeInDelay = addrWire.Res.Delay
+	b.HtreeOutDelay = dataWire.Res.Delay
+
+	// Output drivers at the bank edge.
+	outDrv := circuit.TristateDriver(per, 60e-15)
+
+	// ---- Timing ----
+	// Input/output latches synchronize the bank to its clock.
+	const latchDelay = 30e-12
+	b.AccessTime = latchDelay + b.HtreeInDelay + m.AccessTime() + b.HtreeOutDelay + outDrv.Delay + latchDelay
+	b.RandomCycle = m.RandomCycleTime()
+
+	// Multisubbank interleaving (Section 2.3.4): the shared H-tree
+	// accepts a new access per pipeline beat; sensing is the atomic
+	// stage that cannot be split.
+	maxStages := spec.MaxPipelineStages
+	if maxStages <= 0 {
+		maxStages = 8
+	}
+	atomic := m.TBitline + m.TSense
+	segment := math.Max(atomic, b.HtreeInDelay/math.Max(1, float64(addrWire.NumRep)))
+	nStages := int(math.Ceil(b.AccessTime / math.Max(segment, 1e-12)))
+	if nStages > maxStages {
+		nStages = maxStages
+	}
+	if nStages < 1 {
+		nStages = 1
+	}
+	b.PipelineStages = nStages
+	b.InterleaveCycle = math.Max(b.AccessTime/float64(nStages), atomic)
+
+	// ---- Energy ----
+	nAct := float64(o.MatsPerSubbank)
+	eAddr := float64(addrBits) * addrWire.Res.Energy
+	eData := float64(dataBits)*dataWire.Res.Energy + float64(spec.OutputBits)*outDrv.Energy
+	b.EActivate = eAddr + nAct*m.EActivate
+	b.ERead = nAct*m.ERead + eData
+	// A write moves OutputBits through the column path and drives
+	// exactly those bitlines; reads of the other ways still occur in
+	// normal mode (read-modify-select), hence nAct*ERead.
+	b.EWrite = eAddr + float64(dataBits)*dataWire.Res.Energy +
+		nAct*m.ERead + float64(spec.OutputBits)*m.EWritePerBit
+	b.EPrecharge = nAct * m.EPrecharge
+
+	// ---- Leakage & refresh ----
+	matLeak := float64(o.Mats) * m.Leakage
+	if spec.SleepTransistors {
+		active := nAct * m.Leakage
+		idle := float64(o.Mats-o.MatsPerSubbank) * m.Leakage / 2
+		matLeak = active + idle
+	}
+	wireLeak := (float64(addrBits)*addrWire.Res.Leakage + float64(dataBits)*dataWire.Res.Leakage) +
+		float64(spec.OutputBits)*outDrv.Leakage
+	b.Leakage = matLeak + wireLeak
+	// Refresh: every page (row across the subbank) is activated and
+	// precharged once per retention period, paying the address
+	// distribution overhead per operation.
+	if spec.RAM.IsDRAM() {
+		ret := cell.RetentionT
+		opsPerPeriod := float64(o.Subbanks) * float64(o.Rows)
+		ePerOp := eAddr + nAct*(m.EActivate+m.EPrecharge)/1 // per page activation
+		b.RefreshPower = opsPerPeriod * ePerOp / ret
+	}
+
+	// ---- Area ----
+	matsArea := float64(o.Mats) * m.Area
+	wireArea := float64(addrBits+dataBits) * wire.Pitch * htreeLen
+	repArea := float64(addrBits)*addrWire.Res.Area + float64(dataBits)*dataWire.Res.Area
+	b.MatsArea = matsArea
+	b.WireArea = wireArea + repArea
+	b.Area = matsArea + wireArea + repArea
+	scale := b.Area / (matsW * matsH)
+	b.Width = matsW * math.Sqrt(scale)
+	b.Height = matsH * math.Sqrt(scale)
+	b.AreaEff = float64(o.Mats) * m.CellArea / b.Area
+	return b, nil
+}

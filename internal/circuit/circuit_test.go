@@ -1,0 +1,332 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cactid/internal/tech"
+)
+
+func dev32() *tech.DeviceParams { return tech.New(tech.Node32).Device(tech.HP) }
+func t32() *tech.Technology     { return tech.New(tech.Node32) }
+
+func TestHorowitzStepInput(t *testing.T) {
+	// With a step input, delay reduces to tf*|ln(vs)|.
+	tf, vs := 10e-12, 0.3
+	got := Horowitz(0, tf, vs)
+	want := tf * math.Abs(math.Log(vs))
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("Horowitz step = %g, want %g", got, want)
+	}
+}
+
+func TestHorowitzRampSlower(t *testing.T) {
+	tf, vs := 10e-12, 0.3
+	step := Horowitz(0, tf, vs)
+	ramp := Horowitz(20e-12, tf, vs)
+	if ramp <= step {
+		t.Errorf("ramp input delay %g should exceed step delay %g", ramp, step)
+	}
+}
+
+func TestHorowitzMonotoneInTf(t *testing.T) {
+	f := func(a, b uint16) bool {
+		tf1 := 1e-12 * (1 + float64(a%1000))
+		tf2 := tf1 * (1 + float64(b%100)/10)
+		return Horowitz(5e-12, tf2, 0.3) >= Horowitz(5e-12, tf1, 0.3)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInverterBasics(t *testing.T) {
+	d := dev32()
+	inv := NewInverter(d, 10*d.Lphy)
+	if inv.Wp != 2*inv.Wn {
+		t.Fatalf("beta ratio: Wp=%g Wn=%g", inv.Wp, inv.Wn)
+	}
+	if inv.InputCap() <= 0 || inv.SelfCap() <= 0 || inv.DriveRes() <= 0 {
+		t.Fatal("non-positive inverter parasitics")
+	}
+	// Bigger inverter: more cap, less resistance.
+	big := NewInverter(d, 20*d.Lphy)
+	if big.InputCap() <= inv.InputCap() || big.DriveRes() >= inv.DriveRes() {
+		t.Error("scaling violated")
+	}
+	// Delay grows with load.
+	if inv.Delay(2e-15, 0) >= inv.Delay(20e-15, 0) {
+		t.Error("delay not monotone in load")
+	}
+	if inv.Leakage() <= 0 || inv.Area() <= 0 {
+		t.Error("leakage/area must be positive")
+	}
+	if e := inv.SwitchEnergy(1e-15); e <= 0 {
+		t.Error("switch energy must be positive")
+	}
+}
+
+func TestInverterLeakageTracksDevice(t *testing.T) {
+	hp := tech.New(tech.Node32).Device(tech.HP)
+	lstp := tech.New(tech.Node32).Device(tech.LSTP)
+	w := 10 * hp.Lphy
+	lHP := NewInverter(hp, w).Leakage()
+	lLSTP := NewInverter(lstp, w).Leakage()
+	if lLSTP >= lHP/100 {
+		t.Errorf("LSTP inverter leakage %g should be orders below HP %g", lLSTP, lHP)
+	}
+}
+
+func TestOptimalChainStages(t *testing.T) {
+	d := dev32()
+	cin := 3 * (d.CgIdealPerWidth + d.CFringePerWidth) * 6 * d.Lphy
+	small := OptimalChain(d, cin, cin*2, 1)
+	big := OptimalChain(d, cin, cin*1000, 1)
+	if small.NumStage < 1 || big.NumStage <= small.NumStage {
+		t.Errorf("stage counts: small=%d big=%d", small.NumStage, big.NumStage)
+	}
+	if big.Res.Delay <= small.Res.Delay {
+		t.Error("driving a larger load should take longer")
+	}
+	if big.Res.Energy <= small.Res.Energy {
+		t.Error("driving a larger load should take more energy")
+	}
+}
+
+func TestOptimalChainDelayNearLogarithmic(t *testing.T) {
+	// Logical effort: delay should grow roughly with log(load), far
+	// slower than linearly.
+	d := dev32()
+	cin := 3 * (d.CgIdealPerWidth + d.CFringePerWidth) * 6 * d.Lphy
+	d1 := OptimalChain(d, cin, cin*16, 1).Res.Delay
+	d2 := OptimalChain(d, cin, cin*256, 1).Res.Delay
+	if d2 > 4*d1 {
+		t.Errorf("chain delay grew too fast: %g -> %g for 16x load", d1, d2)
+	}
+}
+
+func TestGateAreaFolding(t *testing.T) {
+	d := dev32()
+	pitch := 20 * d.Lphy
+	narrow := GateArea(d, []float64{8 * d.Lphy}, pitch)
+	wide := GateArea(d, []float64{200 * d.Lphy}, pitch)
+	if wide <= narrow {
+		t.Error("wider transistor must occupy more area")
+	}
+	// Under a pitch constraint, a wide device folds: area grows
+	// roughly linearly with width, not quadratically.
+	ratio := wide / narrow
+	if ratio < 5 || ratio > 50 {
+		t.Errorf("folding ratio %g out of plausible band for 25x width", ratio)
+	}
+	if GateArea(d, nil, pitch) != 0 {
+		t.Error("no transistors -> zero area")
+	}
+}
+
+func TestGateAreaPitchSensitivity(t *testing.T) {
+	// The same transistor folded to a tight DRAM-cell pitch takes a
+	// different (generally larger) footprint than unconstrained.
+	d := dev32()
+	w := []float64{100 * d.Lphy}
+	tight := GateArea(d, w, 4*32e-9) // 4F pitch
+	free := GateArea(d, w, 0)
+	if tight <= 0 || free <= 0 {
+		t.Fatal("areas must be positive")
+	}
+	if tight == free {
+		t.Error("pitch constraint should change the layout area")
+	}
+}
+
+func TestRepeatedWireScaling(t *testing.T) {
+	d := dev32()
+	w := t32().Wire(tech.WireGlobal)
+	short := NewRepeatedWire(d, w, 100e-6, 0)
+	long := NewRepeatedWire(d, w, 4000e-6, 0)
+	if long.Res.Delay <= short.Res.Delay {
+		t.Error("longer wire should be slower")
+	}
+	if long.NumRep <= short.NumRep {
+		t.Error("longer wire should need more repeaters")
+	}
+	// Repeated wire delay is linear in length: 40x length should be
+	// roughly 40x the delay (within 3x band given discretization).
+	r := long.Res.Delay / short.Res.Delay
+	if r < 10 || r > 120 {
+		t.Errorf("delay ratio %g not near-linear for 40x length", r)
+	}
+}
+
+func TestRepeatedWireSlackTradesDelayForEnergy(t *testing.T) {
+	d := dev32()
+	w := t32().Wire(tech.WireGlobal)
+	opt := NewRepeatedWire(d, w, 2000e-6, 0)
+	relaxed := NewRepeatedWire(d, w, 2000e-6, 0.5)
+	if relaxed.Res.Delay <= opt.Res.Delay {
+		t.Error("slack should increase delay")
+	}
+	if relaxed.Res.Energy >= opt.Res.Energy {
+		t.Error("slack should reduce energy")
+	}
+	if relaxed.Res.Delay > opt.Res.Delay*1.8 {
+		t.Errorf("50%% slack blew delay up by %gx", relaxed.Res.Delay/opt.Res.Delay)
+	}
+}
+
+func TestRepeatedWireZeroLength(t *testing.T) {
+	d := dev32()
+	w := t32().Wire(tech.WireGlobal)
+	rw := NewRepeatedWire(d, w, 0, 0)
+	if rw.Res.Delay != 0 || rw.Res.Energy != 0 {
+		t.Error("zero-length wire should be free")
+	}
+	if rw.Res.Cin <= 0 {
+		t.Error("zero-length wire still needs a Cin for the driver")
+	}
+}
+
+func TestDecoderScaling(t *testing.T) {
+	d := dev32()
+	load := 50e-15
+	d64 := NewDecoder(d, 64, load, 5e-15, 100)
+	d1024 := NewDecoder(d, 1024, load, 20e-15, 400)
+	if d1024.Res.Delay <= d64.Res.Delay {
+		t.Error("bigger decoder should be slower")
+	}
+	if d1024.Res.Area <= d64.Res.Area {
+		t.Error("bigger decoder should be larger")
+	}
+	if d1024.Res.Leakage <= d64.Res.Leakage {
+		t.Error("bigger decoder should leak more")
+	}
+	// Energy: only one line fires, so energy grows slowly with size.
+	if d1024.Res.Energy > 20*d64.Res.Energy {
+		t.Error("decoder energy should not explode with size")
+	}
+}
+
+func TestDecoderMinimumSize(t *testing.T) {
+	d := dev32()
+	dec := NewDecoder(d, 1, 10e-15, 0, 0)
+	if dec.NumOut != 2 {
+		t.Errorf("NumOut = %d, want clamp to 2", dec.NumOut)
+	}
+	if dec.Res.Delay <= 0 {
+		t.Error("decoder delay must be positive")
+	}
+}
+
+func TestSenseAmp(t *testing.T) {
+	tt := t32()
+	d := tt.Device(tech.HP)
+	one := SenseAmp(tt, d, 1, 0)
+	many := SenseAmp(tt, d, 256, 0)
+	if many.Energy != 256*one.Energy {
+		t.Error("sense energy should scale with amp count")
+	}
+	if many.Delay != one.Delay {
+		t.Error("sense delay should not depend on amp count")
+	}
+	if many.Area <= one.Area || many.Leakage <= one.Leakage {
+		t.Error("area/leakage should scale with amp count")
+	}
+}
+
+func TestTristateDriver(t *testing.T) {
+	d := dev32()
+	r1 := TristateDriver(d, 10e-15)
+	r2 := TristateDriver(d, 500e-15)
+	if r2.Delay <= r1.Delay || r2.Energy <= r1.Energy {
+		t.Error("tristate driver should scale with load")
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	a := Result{Delay: 1, Energy: 2, Leakage: 3, Area: 4, Cin: 5}
+	b := Result{Delay: 10, Energy: 20, Leakage: 30, Area: 40, Cin: 50}
+	a.Add(b)
+	if a.Delay != 11 || a.Energy != 22 || a.Leakage != 33 || a.Area != 44 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.Cin != 5 {
+		t.Errorf("Add should keep first Cin, got %g", a.Cin)
+	}
+	var z Result
+	z.Add(b)
+	if z.Cin != 50 {
+		t.Error("Add into zero should adopt Cin")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	s := Result{Delay: 1e-12, Energy: 1e-12, Leakage: 1e-6, Area: 1e-12}.String()
+	if s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestChainEnergyPositiveProperty(t *testing.T) {
+	d := dev32()
+	cin := 3 * (d.CgIdealPerWidth + d.CFringePerWidth) * 6 * d.Lphy
+	f := func(mult uint8) bool {
+		load := cin * (1 + float64(mult))
+		ch := OptimalChain(d, cin, load, 1)
+		return ch.Res.Energy > 0 && ch.Res.Delay > 0 && ch.Res.Leakage > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateAreaMonotoneInWidthProperty(t *testing.T) {
+	d := dev32()
+	f := func(a, b uint8) bool {
+		w1 := float64(1+a%100) * d.Lphy
+		w2 := w1 + float64(1+b%100)*d.Lphy
+		pitch := 20 * d.Lphy
+		return GateArea(d, []float64{w2}, pitch) >= GateArea(d, []float64{w1}, pitch)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecoderEnergyGrowthBounded(t *testing.T) {
+	// Only one output fires; energy grows with the predecode fanout
+	// (roughly linear in outputs), never super-linearly.
+	d := dev32()
+	prevE := 0.0
+	for _, n := range []int{64, 128, 256, 512, 1024} {
+		dec := NewDecoder(d, n, 30e-15, 5e-15, 100)
+		if prevE > 0 && dec.Res.Energy > prevE*2.2 {
+			t.Errorf("decoder energy jumped %gx at %d outputs (super-linear)", dec.Res.Energy/prevE, n)
+		}
+		prevE = dec.Res.Energy
+	}
+}
+
+func TestChainCinRespected(t *testing.T) {
+	// The chain's reported input capacitance equals what was asked.
+	d := dev32()
+	cin := 3 * (d.CgIdealPerWidth + d.CFringePerWidth) * 10 * d.Lphy
+	ch := OptimalChain(d, cin, cin*100, 1)
+	if math.Abs(ch.Res.Cin-cin)/cin > 1e-9 {
+		t.Errorf("chain Cin %g, want %g", ch.Res.Cin, cin)
+	}
+	if len(ch.Stages) != ch.NumStage {
+		t.Error("stage bookkeeping inconsistent")
+	}
+}
+
+func TestHorowitzNonNegativeProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		tf := 1e-13 * float64(1+a%5000)
+		trise := 1e-13 * float64(b%5000)
+		return Horowitz(trise, tf, 0.25) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,484 @@
+// Package core is CACTI-D's solver: it takes a cache or memory
+// specification, enumerates the internal organizations of the data
+// (and, for caches, tag) arrays, applies the paper's staged
+// optimization (max area constraint, then max access-time constraint,
+// then a normalized weighted objective over dynamic energy, leakage
+// power, random cycle time and multisubbank interleave cycle time —
+// Section 2.4), and returns the chosen solution with the complete
+// area/timing/energy/power breakdown.
+//
+// This is the package downstream users import; the physical
+// substrates live in internal/tech, internal/circuit, internal/mat,
+// internal/array and internal/dram.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cactid/internal/array"
+	"cactid/internal/circuit"
+	"cactid/internal/tech"
+)
+
+// AccessMode selects how tags and data are coordinated in a cache
+// access (Section 3.4).
+type AccessMode int
+
+const (
+	// Normal reads tags and all data ways concurrently and
+	// late-selects the hit way.
+	Normal AccessMode = iota
+	// Sequential reads the tag array first and then only the hit
+	// way of the data array, saving energy at the cost of latency
+	// (used for the DRAM LLCs in the paper's study).
+	Sequential
+	// Fast reads tags and all data ways concurrently and routes
+	// every way to the bank edge so data is available the moment the
+	// tag comparison resolves: the fastest and most energy-hungry
+	// mode of the original tool.
+	Fast
+)
+
+func (m AccessMode) String() string {
+	switch m {
+	case Sequential:
+		return "sequential"
+	case Fast:
+		return "fast"
+	}
+	return "normal"
+}
+
+// Weights are the relative weights of the normalized optimization
+// objective (Section 2.4).
+type Weights struct {
+	DynamicEnergy   float64
+	LeakagePower    float64
+	RandomCycle     float64
+	InterleaveCycle float64
+}
+
+// DefaultWeights weighs all four metrics equally.
+var DefaultWeights = Weights{1, 1, 1, 1}
+
+// Spec is the user-facing input specification.
+type Spec struct {
+	Node tech.Node
+	RAM  tech.RAMType
+
+	CapacityBytes int64 // total capacity across banks
+	BlockBytes    int   // cache line / access granularity
+	Associativity int   // 1 for direct-mapped or plain memory
+	Banks         int   // independently addressable banks (>=1)
+
+	// IsCache adds a tag array and way-select to the model.
+	IsCache bool
+	Mode    AccessMode
+
+	// TagRAM overrides the tag array technology; nil RAMType zero
+	// value means "same as data" for DRAM caches and SRAM otherwise.
+	TagRAM *tech.RAMType
+
+	// PageBits constrains the DRAM page size (sense amps per
+	// subbank); 0 leaves it free.
+	PageBits int
+
+	// MaxPipelineStages caps access-path pipelining (study: 6).
+	MaxPipelineStages int
+
+	// Optimization controls (Section 2.4). Zero values take the
+	// defaults: MaxAreaConstraint 0.4, MaxAcctimeConstraint 0.1,
+	// MaxRepeaterSlack 0, DefaultWeights.
+	MaxAreaConstraint    float64
+	MaxAcctimeConstraint float64
+	MaxRepeaterSlack     float64
+	Weights              *Weights
+
+	// SleepTransistors halves leakage of non-activated mats.
+	SleepTransistors bool
+
+	// Ports is the number of independent read/write ports (SRAM
+	// only; register-file-style structures). Zero means 1.
+	Ports int
+
+	// ECC stores SECDED check bits alongside the data (8 bits per
+	// 64-bit word): capacity and data movement grow by 9/8.
+	ECC bool
+
+	// IncludeBankRouting adds the inter-bank distribution network to
+	// the model: address and data routed from the structure's edge
+	// to the farthest bank over repeated global wires. Leave false
+	// when an external interconnect (like the LLC study's crossbar)
+	// reaches the banks directly.
+	IncludeBankRouting bool
+
+	// PhysicalAddressBits sizes the tags (default 40).
+	PhysicalAddressBits int
+}
+
+// Solution is one evaluated cache/memory design point. Timing and
+// access energies are per bank access; area, leakage and refresh
+// cover the whole structure (all banks).
+type Solution struct {
+	Spec Spec
+	Data *array.Bank
+	Tag  *array.Bank // nil for plain memories
+
+	// Per-bank timing (s).
+	AccessTime      float64
+	RandomCycle     float64
+	InterleaveCycle float64
+
+	// Whole-structure geometry.
+	Area     float64 // m^2, all banks
+	BankArea float64 // m^2, one bank
+	AreaEff  float64
+
+	// Per-access energy (J) for a full block read/write, including
+	// tag access and, for DRAM, activate + precharge.
+	EReadPerAccess  float64
+	EWritePerAccess float64
+
+	// Whole-structure standby power (W).
+	LeakagePower float64
+	RefreshPower float64
+}
+
+// Objective computes the normalized weighted objective given the
+// normalization minima; lower is better.
+func (s *Solution) objective(w Weights, minE, minL, minC, minI float64) float64 {
+	obj := 0.0
+	if minE > 0 {
+		obj += w.DynamicEnergy * s.EReadPerAccess / minE
+	}
+	if minL > 0 {
+		obj += w.LeakagePower * s.LeakagePower / minL
+	}
+	if minC > 0 {
+		obj += w.RandomCycle * s.RandomCycle / minC
+	}
+	if minI > 0 {
+		obj += w.InterleaveCycle * s.InterleaveCycle / minI
+	}
+	return obj
+}
+
+// ErrNoSolution is returned when the spec admits no feasible design.
+var ErrNoSolution = errors.New("core: no feasible solution for spec")
+
+func (s *Spec) normalize() error {
+	if s.CapacityBytes <= 0 {
+		return fmt.Errorf("core: capacity %d must be positive", s.CapacityBytes)
+	}
+	if s.BlockBytes <= 0 {
+		return errors.New("core: block size must be positive")
+	}
+	if s.Banks <= 0 {
+		s.Banks = 1
+	}
+	if s.Associativity <= 0 {
+		s.Associativity = 1
+	}
+	if s.CapacityBytes%int64(s.Banks) != 0 {
+		return fmt.Errorf("core: capacity %d not divisible by %d banks", s.CapacityBytes, s.Banks)
+	}
+	if s.MaxAreaConstraint == 0 {
+		s.MaxAreaConstraint = 0.4
+	}
+	if s.MaxAcctimeConstraint == 0 {
+		s.MaxAcctimeConstraint = 0.1
+	}
+	if s.Weights == nil {
+		s.Weights = &DefaultWeights
+	}
+	if s.PhysicalAddressBits == 0 {
+		s.PhysicalAddressBits = 40
+	}
+	if s.Node == 0 {
+		s.Node = tech.Node32
+	}
+	return nil
+}
+
+// tagRAM resolves the tag array technology.
+func (s *Spec) tagRAM() tech.RAMType {
+	if s.TagRAM != nil {
+		return *s.TagRAM
+	}
+	if s.RAM.IsDRAM() {
+		// DRAM LLC tags live in the same stacked DRAM (an SRAM tag
+		// store for a 192MB cache would dominate leakage).
+		return s.RAM
+	}
+	return tech.SRAM
+}
+
+// TagBits returns the per-line tag width implied by the spec: address
+// bits minus index and offset, plus state (valid, dirty, coherence).
+func (s *Spec) TagBits() int {
+	setsTotal := s.CapacityBytes / int64(s.BlockBytes) / int64(s.Associativity)
+	idx := int(math.Ceil(math.Log2(float64(setsTotal))))
+	off := int(math.Ceil(math.Log2(float64(s.BlockBytes))))
+	tag := s.PhysicalAddressBits - idx - off + 3
+	if tag < 8 {
+		tag = 8
+	}
+	return tag
+}
+
+// Explore enumerates every feasible solution for spec, without
+// applying the optimization constraints. The returned slice is sorted
+// by access time. This is the raw design space behind Figure 1's
+// bubble chart.
+func Explore(spec Spec) ([]*Solution, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	t := tech.New(spec.Node)
+
+	// Tag array: optimized once, shared by all data organizations.
+	var tag *array.Bank
+	if spec.IsCache {
+		var err error
+		tag, err = optimizeTag(spec, t)
+		if err != nil {
+			return nil, fmt.Errorf("core: tag array: %w", err)
+		}
+	}
+
+	assocReadout := 1
+	if spec.IsCache && (spec.Mode == Normal || spec.Mode == Fast) {
+		assocReadout = spec.Associativity
+	}
+	dataCapacity := spec.CapacityBytes / int64(spec.Banks)
+	outputBits := spec.BlockBytes * 8
+	if spec.ECC {
+		// SECDED: 8 check bits per 64 data bits.
+		dataCapacity = dataCapacity * 9 / 8
+		outputBits = outputBits * 9 / 8
+	}
+	dataSpec := array.Spec{
+		Tech:              t,
+		RAM:               spec.RAM,
+		CapacityBytes:     dataCapacity,
+		OutputBits:        outputBits,
+		AssocReadout:      assocReadout,
+		RouteAllWays:      spec.Mode == Fast,
+		PageBits:          spec.PageBits,
+		MaxPipelineStages: spec.MaxPipelineStages,
+		RepeaterSlack:     spec.MaxRepeaterSlack,
+		SleepTransistors:  spec.SleepTransistors,
+		Ports:             spec.Ports,
+	}
+	banks := array.Enumerate(dataSpec)
+	if len(banks) == 0 {
+		return nil, ErrNoSolution
+	}
+	sols := make([]*Solution, 0, len(banks))
+	for _, b := range banks {
+		sols = append(sols, assemble(spec, b, tag))
+	}
+	sort.Slice(sols, func(i, j int) bool { return sols[i].AccessTime < sols[j].AccessTime })
+	return sols, nil
+}
+
+// Optimize runs the full CACTI-D optimization flow (Section 2.4) and
+// returns the chosen solution.
+func Optimize(spec Spec) (*Solution, error) {
+	sols, err := Explore(spec)
+	if err != nil {
+		return nil, err
+	}
+	filtered := Filter(spec, sols)
+	if len(filtered) == 0 {
+		return nil, ErrNoSolution
+	}
+	return filtered[0], nil
+}
+
+// Filter applies the staged constraints and objective of Section 2.4
+// to a solution set and returns the survivors sorted best-first.
+func Filter(spec Spec, sols []*Solution) []*Solution {
+	if err := spec.normalize(); err != nil || len(sols) == 0 {
+		return nil
+	}
+	// Stage 1: max area constraint relative to the best-area solution.
+	minArea := math.Inf(1)
+	for _, s := range sols {
+		minArea = math.Min(minArea, s.Area)
+	}
+	var pass1 []*Solution
+	for _, s := range sols {
+		if s.Area <= minArea*(1+spec.MaxAreaConstraint) {
+			pass1 = append(pass1, s)
+		}
+	}
+	// Stage 2: max access-time constraint within the reduced set.
+	minAcc := math.Inf(1)
+	for _, s := range pass1 {
+		minAcc = math.Min(minAcc, s.AccessTime)
+	}
+	var pass2 []*Solution
+	for _, s := range pass1 {
+		if s.AccessTime <= minAcc*(1+spec.MaxAcctimeConstraint) {
+			pass2 = append(pass2, s)
+		}
+	}
+	// Stage 3: normalized weighted objective.
+	minE, minL, minC, minI := math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)
+	for _, s := range pass2 {
+		minE = math.Min(minE, s.EReadPerAccess)
+		minL = math.Min(minL, s.LeakagePower)
+		minC = math.Min(minC, s.RandomCycle)
+		minI = math.Min(minI, s.InterleaveCycle)
+	}
+	w := *spec.Weights
+	sort.Slice(pass2, func(i, j int) bool {
+		return pass2[i].objective(w, minE, minL, minC, minI) <
+			pass2[j].objective(w, minE, minL, minC, minI)
+	})
+	return pass2
+}
+
+// optimizeTag builds and optimizes the tag array for a cache spec.
+func optimizeTag(spec Spec, t *tech.Technology) (*array.Bank, error) {
+	tagBits := spec.TagBits()
+	setsPerBank := spec.CapacityBytes / int64(spec.Banks) / int64(spec.BlockBytes) / int64(spec.Associativity)
+	capBytes := setsPerBank * int64(spec.Associativity) * int64(tagBits) / 8
+	if capBytes < 512 {
+		capBytes = 512
+	}
+	tagSpec := array.Spec{
+		Tech:              t,
+		RAM:               spec.tagRAM(),
+		CapacityBytes:     capBytes,
+		OutputBits:        tagBits * spec.Associativity, // all ways compared
+		AssocReadout:      1,
+		MaxPipelineStages: spec.MaxPipelineStages,
+		RepeaterSlack:     spec.MaxRepeaterSlack,
+		SleepTransistors:  spec.SleepTransistors,
+	}
+	banks := array.Enumerate(tagSpec)
+	if len(banks) == 0 {
+		return nil, ErrNoSolution
+	}
+	// Tags want latency: best access time within 10% of best area...
+	// use the same staged filter with cycle-heavy weights.
+	sort.Slice(banks, func(i, j int) bool {
+		return banks[i].AccessTime < banks[j].AccessTime
+	})
+	return banks[0], nil
+}
+
+// assemble combines a data organization with the tag array into a
+// Solution according to the access mode.
+func assemble(spec Spec, data *array.Bank, tag *array.Bank) *Solution {
+	s := &Solution{Spec: spec, Data: data, Tag: tag}
+	nb := float64(spec.Banks)
+
+	wayMux := 0.0
+	if spec.IsCache && spec.Mode == Normal && spec.Associativity > 1 {
+		wayMux = 30e-12 // late way-select mux after tag compare
+	}
+	switch {
+	case !spec.IsCache:
+		s.AccessTime = data.AccessTime
+	case spec.Mode == Sequential:
+		s.AccessTime = tag.AccessTime + data.AccessTime
+	case spec.Mode == Fast:
+		// All ways arrive at the edge with the tags: no way-select
+		// stall on the critical path.
+		s.AccessTime = math.Max(tag.AccessTime, data.AccessTime)
+	default:
+		s.AccessTime = math.Max(tag.AccessTime+wayMux, data.AccessTime) + wayMux
+	}
+	s.RandomCycle = data.RandomCycle
+	s.InterleaveCycle = data.InterleaveCycle
+	if spec.IsCache {
+		s.RandomCycle = math.Max(s.RandomCycle, tag.RandomCycle)
+		s.InterleaveCycle = math.Max(s.InterleaveCycle, tag.InterleaveCycle)
+	}
+
+	s.BankArea = data.Area
+	if tag != nil {
+		s.BankArea += tag.Area
+	}
+	s.Area = nb * s.BankArea
+	cellArea := float64(data.Org.Mats) * data.Mat.CellArea
+	if tag != nil {
+		cellArea += float64(tag.Org.Mats) * tag.Mat.CellArea
+	}
+	s.AreaEff = cellArea / s.BankArea
+
+	s.EReadPerAccess = data.EReadTotal()
+	s.EWritePerAccess = data.EActivate + data.EWrite + data.EPrecharge
+	if tag != nil {
+		s.EReadPerAccess += tag.EReadTotal()
+		s.EWritePerAccess += tag.EReadTotal()
+	}
+
+	s.LeakagePower = nb * data.Leakage
+	s.RefreshPower = nb * data.RefreshPower
+	if tag != nil {
+		s.LeakagePower += nb * tag.Leakage
+		s.RefreshPower += nb * tag.RefreshPower
+	}
+
+	if spec.IncludeBankRouting && spec.Banks > 1 {
+		addBankRouting(spec, s, data)
+	}
+	return s
+}
+
+// addBankRouting extends a multi-bank solution with the inter-bank
+// distribution network: banks arranged in a near-square grid, address
+// and data routed to the farthest bank and back over repeated global
+// wires.
+func addBankRouting(spec Spec, s *Solution, data *array.Bank) {
+	t := data.Spec.Tech
+	per := t.Device(t.Cell(spec.RAM).PeripheralDevice)
+	wire := t.Wire(tech.WireGlobal)
+
+	gx := 1
+	for gx*gx < spec.Banks {
+		gx *= 2
+	}
+	gy := (spec.Banks + gx - 1) / gx
+	side := math.Sqrt(s.BankArea)
+	routeLen := (float64(gx) + float64(gy)) / 2 * side
+
+	rw := circuit.NewRepeatedWire(per, wire, routeLen, spec.MaxRepeaterSlack)
+	addrBits := int(math.Ceil(math.Log2(float64(spec.CapacityBytes*8)))) + 8
+	dataBits := spec.BlockBytes * 8
+
+	s.AccessTime += 2 * rw.Res.Delay // address in, data out
+	s.RandomCycle = math.Max(s.RandomCycle, rw.Res.Delay/math.Max(1, float64(rw.NumRep)))
+	eWire := float64(addrBits+dataBits) * rw.Res.Energy
+	s.EReadPerAccess += eWire
+	s.EWritePerAccess += eWire
+	s.LeakagePower += float64(addrBits+dataBits) * rw.Res.Leakage
+	s.Area += float64(addrBits+dataBits) * wire.Pitch * routeLen
+}
+
+// String summarizes a solution in engineering units.
+func (s *Solution) String() string {
+	return fmt.Sprintf("%v %s %dB blk assoc %d x%d banks: acc=%.2fns cyc=%.2fns int=%.2fns area=%.2fmm2 eff=%.0f%% Erd=%.3gnJ leak=%.3gW refr=%.3gW org=%v",
+		s.Spec.RAM, byteSize(s.Spec.CapacityBytes), s.Spec.BlockBytes, s.Spec.Associativity, s.Spec.Banks,
+		s.AccessTime*1e9, s.RandomCycle*1e9, s.InterleaveCycle*1e9,
+		s.Area*1e6, s.AreaEff*100, s.EReadPerAccess*1e9, s.LeakagePower, s.RefreshPower, s.Data.Org)
+}
+
+func byteSize(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%gGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%gMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%gKB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", b)
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"cactid/internal/core"
+	"cactid/internal/tech"
+)
+
+// ExampleOptimize models the paper's 96MB COMM-DRAM L3 (config ED):
+// 8 banks, 12-way, sequential access, 8Kb pages, at the 32nm node.
+func ExampleOptimize() {
+	sol, err := core.Optimize(core.Spec{
+		Node:              tech.Node32,
+		RAM:               tech.COMMDRAM,
+		CapacityBytes:     96 << 20,
+		BlockBytes:        64,
+		Associativity:     12,
+		Banks:             8,
+		IsCache:           true,
+		Mode:              core.Sequential,
+		PageBits:          8192,
+		MaxPipelineStages: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("capacity: %dMB in %d banks\n", sol.Spec.CapacityBytes>>20, sol.Spec.Banks)
+	fmt.Printf("refresh needed: %v\n", sol.RefreshPower > 0)
+	fmt.Printf("leakage below 0.1W: %v\n", sol.LeakagePower < 0.1)
+	// Output:
+	// capacity: 96MB in 8 banks
+	// refresh needed: true
+	// leakage below 0.1W: true
+}
+
+// ExampleExplore walks the raw design space and applies the staged
+// Section 2.4 optimization manually.
+func ExampleExplore() {
+	spec := core.Spec{
+		Node: tech.Node32, RAM: tech.SRAM,
+		CapacityBytes: 1 << 20, BlockBytes: 64, Associativity: 8, IsCache: true,
+	}
+	sols, err := core.Explore(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	filtered := core.Filter(spec, sols)
+	fmt.Printf("raw solutions exceed filtered: %v\n", len(sols) > len(filtered))
+	fmt.Printf("filtered set non-empty: %v\n", len(filtered) > 0)
+	// Output:
+	// raw solutions exceed filtered: true
+	// filtered set non-empty: true
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report renders the classic CACTI-style detailed breakdown of a
+// solution: the timing components along the access path, the energy
+// components of a read, the geometry of data and tag arrays, and the
+// standby power split. This is the diagnostic output users of the
+// original tool rely on to understand *why* a solution looks the way
+// it does.
+func Report(s *Solution) string {
+	var b strings.Builder
+	spec := s.Spec
+	fmt.Fprintf(&b, "CACTI-D solution report\n")
+	fmt.Fprintf(&b, "=======================\n")
+	fmt.Fprintf(&b, "Input: %v %s, %dB lines, %d-way, %d bank(s), %s access, %s node\n",
+		spec.RAM, byteSize(spec.CapacityBytes), spec.BlockBytes, spec.Associativity,
+		spec.Banks, spec.Mode, spec.Node)
+	if spec.PageBits > 0 {
+		fmt.Fprintf(&b, "       page size constraint: %d bits\n", spec.PageBits)
+	}
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Data array organization: %v\n", s.Data.Org)
+	m := s.Data.Mat
+	fmt.Fprintf(&b, "  subarray: %d rows x %d cols, column mux %d, %d pipeline stages\n",
+		m.Rows, m.Cols, m.DegBLMux, s.Data.PipelineStages)
+	if s.Tag != nil {
+		fmt.Fprintf(&b, "Tag array organization:  %v (%d-bit tags)\n", s.Tag.Org, spec.TagBits())
+	}
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Access path timing (data array):\n")
+	fmt.Fprintf(&b, "  H-tree in            %8.1f ps\n", s.Data.HtreeInDelay*1e12)
+	fmt.Fprintf(&b, "  row decoder          %8.1f ps\n", m.TDecoder*1e12)
+	fmt.Fprintf(&b, "  wordline             %8.1f ps\n", m.TWordline*1e12)
+	fmt.Fprintf(&b, "  bitline              %8.1f ps\n", m.TBitline*1e12)
+	fmt.Fprintf(&b, "  sense amplifier      %8.1f ps\n", m.TSense*1e12)
+	if m.TColumnMux > 0 {
+		fmt.Fprintf(&b, "  column mux           %8.1f ps\n", m.TColumnMux*1e12)
+	}
+	fmt.Fprintf(&b, "  H-tree out           %8.1f ps\n", s.Data.HtreeOutDelay*1e12)
+	if m.TRestore > 0 {
+		fmt.Fprintf(&b, "  restore/writeback    %8.1f ps   (destructive readout)\n", m.TRestore*1e12)
+	}
+	fmt.Fprintf(&b, "  precharge            %8.1f ps\n", m.TPrecharge*1e12)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Result timing:\n")
+	fmt.Fprintf(&b, "  access time          %8.3f ns\n", s.AccessTime*1e9)
+	fmt.Fprintf(&b, "  random cycle time    %8.3f ns\n", s.RandomCycle*1e9)
+	fmt.Fprintf(&b, "  interleave cycle     %8.3f ns   (multisubbank)\n", s.InterleaveCycle*1e9)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Read energy (per %dB access):\n", spec.BlockBytes)
+	fmt.Fprintf(&b, "  activate             %8.3f nJ\n", s.Data.EActivate*1e9)
+	fmt.Fprintf(&b, "  column read + return %8.3f nJ\n", s.Data.ERead*1e9)
+	fmt.Fprintf(&b, "  precharge            %8.3f nJ\n", s.Data.EPrecharge*1e9)
+	if s.Tag != nil {
+		fmt.Fprintf(&b, "  tag array            %8.3f nJ\n", s.Tag.EReadTotal()*1e9)
+	}
+	fmt.Fprintf(&b, "  total read           %8.3f nJ   (write %.3f nJ)\n",
+		s.EReadPerAccess*1e9, s.EWritePerAccess*1e9)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Geometry:\n")
+	fmt.Fprintf(&b, "  bank                 %8.3f mm2 (%.1f%% cells)\n", s.BankArea*1e6, s.AreaEff*100)
+	fmt.Fprintf(&b, "  total (%d banks)     %8.3f mm2\n", spec.Banks, s.Area*1e6)
+	fmt.Fprintln(&b)
+
+	fmt.Fprintf(&b, "Standby power:\n")
+	fmt.Fprintf(&b, "  leakage              %8.4f W\n", s.LeakagePower)
+	if s.RefreshPower > 0 {
+		fmt.Fprintf(&b, "  refresh              %8.4f W   (retention %.3g ms)\n",
+			s.RefreshPower, retentionMS(s))
+	}
+	return b.String()
+}
+
+func retentionMS(s *Solution) float64 {
+	cell := s.Data.Spec.Tech.Cell(s.Spec.RAM)
+	return cell.RetentionT * 1e3
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cactid/internal/tech"
+)
+
+// Cross-node integration tests: the solver's outputs must follow the
+// technology-scaling trends the ITRS tables encode.
+
+func optimizeAt(t *testing.T, node tech.Node, ram tech.RAMType, mode AccessMode, capBytes int64) *Solution {
+	t.Helper()
+	s, err := Optimize(Spec{
+		Node: node, RAM: ram, CapacityBytes: capBytes, BlockBytes: 64,
+		Associativity: 8, Banks: 1, IsCache: true, Mode: mode, MaxPipelineStages: 6,
+	})
+	if err != nil {
+		t.Fatalf("%v %v: %v", node, ram, err)
+	}
+	return s
+}
+
+func TestAreaScalesWithFeatureSize(t *testing.T) {
+	// Area should shrink roughly with F^2 from node to node
+	// (within a generous band: periphery scales more slowly).
+	nodes := []tech.Node{tech.Node90, tech.Node65, tech.Node45, tech.Node32}
+	for _, ram := range []tech.RAMType{tech.SRAM, tech.LPDRAM, tech.COMMDRAM} {
+		mode := Normal
+		if ram.IsDRAM() {
+			mode = Sequential
+		}
+		prev := optimizeAt(t, nodes[0], ram, mode, 4<<20)
+		for _, n := range nodes[1:] {
+			cur := optimizeAt(t, n, ram, mode, 4<<20)
+			fPrev := float64(prevNode(n)) * 1e-9
+			fCur := float64(n) * 1e-9
+			ideal := (fCur * fCur) / (fPrev * fPrev)
+			ratio := cur.Area / prev.Area
+			if ratio > 1 {
+				t.Errorf("%v %v: area grew with scaling (%.2fx)", n, ram, ratio)
+			}
+			if ratio < ideal*0.4 {
+				t.Errorf("%v %v: area shrank implausibly fast: %.2f vs ideal %.2f", n, ram, ratio, ideal)
+			}
+			prev = cur
+		}
+	}
+}
+
+func prevNode(n tech.Node) tech.Node {
+	switch n {
+	case tech.Node65:
+		return tech.Node90
+	case tech.Node45:
+		return tech.Node65
+	case tech.Node32:
+		return tech.Node45
+	}
+	return n
+}
+
+func TestEnergyImprovesWithScaling(t *testing.T) {
+	// Dynamic read energy falls with VDD^2 and capacitance scaling.
+	for _, ram := range []tech.RAMType{tech.SRAM, tech.COMMDRAM} {
+		mode := Normal
+		if ram.IsDRAM() {
+			mode = Sequential
+		}
+		e90 := optimizeAt(t, tech.Node90, ram, mode, 4<<20).EReadPerAccess
+		e32 := optimizeAt(t, tech.Node32, ram, mode, 4<<20).EReadPerAccess
+		if e32 >= e90 {
+			t.Errorf("%v: 32nm read energy %.3g not below 90nm %.3g", ram, e32, e90)
+		}
+	}
+}
+
+func TestSRAMAccessImprovesWithScaling(t *testing.T) {
+	a90 := optimizeAt(t, tech.Node90, tech.SRAM, Normal, 4<<20).AccessTime
+	a32 := optimizeAt(t, tech.Node32, tech.SRAM, Normal, 4<<20).AccessTime
+	if a32 >= a90 {
+		t.Errorf("SRAM access time did not improve: 90nm %.3g vs 32nm %.3g", a90, a32)
+	}
+}
+
+func TestCOMMDRAMCycleStagnatesWithScaling(t *testing.T) {
+	// Commodity DRAM row cycles barely improve across generations
+	// (flat access-transistor current, conservative margins) — the
+	// reason tRC has hovered around 50ns for a decade.
+	c90 := optimizeAt(t, tech.Node90, tech.COMMDRAM, Sequential, 16<<20).RandomCycle
+	c32 := optimizeAt(t, tech.Node32, tech.COMMDRAM, Sequential, 16<<20).RandomCycle
+	ratio := c32 / c90
+	if ratio < 0.4 || ratio > 1.6 {
+		t.Errorf("COMM-DRAM cycle changed %.2fx across 90->32nm; expected near-flat", ratio)
+	}
+}
+
+func TestInterpolatedNodesBracketed(t *testing.T) {
+	// Property: for interpolated nodes, the optimized access time of
+	// a fixed SRAM spec lies between the bracketing base nodes'
+	// values (with slack for discrete organization choices).
+	a65 := optimizeAt(t, tech.Node65, tech.SRAM, Normal, 1<<20).AccessTime
+	a90 := optimizeAt(t, tech.Node90, tech.SRAM, Normal, 1<<20).AccessTime
+	f := func(raw uint8) bool {
+		n := tech.Node(66 + int(raw)%24) // 66..89
+		a := optimizeAt(t, n, tech.SRAM, Normal, 1<<20).AccessTime
+		lo, hi := a65*0.85, a90*1.15
+		return a >= lo && a <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 6}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeakageGrowsWithSRAMCapacitySuperlinearSanity(t *testing.T) {
+	// Leakage should scale close to linearly with capacity.
+	s1 := optimizeAt(t, tech.Node32, tech.SRAM, Normal, 2<<20)
+	s4 := optimizeAt(t, tech.Node32, tech.SRAM, Normal, 8<<20)
+	ratio := s4.LeakagePower / s1.LeakagePower
+	if ratio < 3 || ratio > 6 {
+		t.Errorf("4x capacity changed leakage %.2fx, want ~4x", ratio)
+	}
+}

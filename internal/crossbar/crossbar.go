@@ -1,0 +1,89 @@
+// Package crossbar models the delay and energy of an NxM crossbar
+// interconnect in the style of Orion (Wang et al., MICRO 2002), which
+// the paper incorporates for the L2-L3 connection of its LLC study
+// (Section 4.1). The model is a matrix crossbar: input and output
+// buses span the crossbar area, with a connector (pass transistor +
+// driver) at each crosspoint.
+package crossbar
+
+import (
+	"fmt"
+
+	"cactid/internal/circuit"
+	"cactid/internal/tech"
+)
+
+// Config describes one crossbar.
+type Config struct {
+	Tech    *tech.Technology
+	Device  tech.DeviceType // driver/connector device family
+	Inputs  int             // number of input ports
+	Outputs int             // number of output ports
+	Width   int             // bits per port (flit width)
+
+	// SpanX, SpanY are the physical dimensions the crossbar wiring
+	// must cover (m). The LLC study measures these from the Niagara2
+	// die photo scaled to 32 nm; if zero they default to the minimum
+	// wiring footprint implied by ports and wire pitch.
+	SpanX, SpanY float64
+}
+
+// Crossbar is the evaluated model.
+type Crossbar struct {
+	Config
+
+	Delay       float64 // one traversal (s)
+	EnergyPerTx float64 // energy to move one Width-bit flit (J)
+	Leakage     float64 // W
+	Area        float64 // m^2
+}
+
+// New evaluates the crossbar model.
+func New(cfg Config) (*Crossbar, error) {
+	if cfg.Tech == nil || cfg.Inputs < 1 || cfg.Outputs < 1 || cfg.Width < 1 {
+		return nil, fmt.Errorf("crossbar: invalid config %+v", cfg)
+	}
+	t := cfg.Tech
+	dev := t.Device(cfg.Device)
+	w := t.Wire(tech.WireGlobal)
+
+	// Wiring footprint: input buses run horizontally (Inputs*Width
+	// wires), output buses vertically (Outputs*Width wires).
+	minX := float64(cfg.Outputs*cfg.Width) * w.Pitch
+	minY := float64(cfg.Inputs*cfg.Width) * w.Pitch
+	spanX, spanY := cfg.SpanX, cfg.SpanY
+	if spanX < minX {
+		spanX = minX
+	}
+	if spanY < minY {
+		spanY = minY
+	}
+
+	// A transfer drives one input bus across spanX, switches a
+	// crosspoint, then drives one output bus across spanY. Each bus
+	// is a repeated wire loaded additionally by the crosspoint
+	// junction capacitance at every port it passes.
+	inWire := circuit.NewRepeatedWire(dev, w, spanX, 0)
+	outWire := circuit.NewRepeatedWire(dev, w, spanY, 0)
+	// Crosspoint loading: one pass-gate junction per output column
+	// on the input bus and per input row on the output bus.
+	xpW := 16 * dev.Lphy
+	cXp := dev.CJuncPerWidth * xpW
+	loadIn := float64(cfg.Outputs) * cXp
+	loadOut := float64(cfg.Inputs) * cXp
+	vdd := dev.Vdd
+	extraE := 0.5 * (loadIn + loadOut) * vdd * vdd
+	extraD := 0.2 * (inWire.Res.Delay + outWire.Res.Delay) // distributed loading penalty
+
+	xb := &Crossbar{Config: cfg}
+	xb.Config.SpanX, xb.Config.SpanY = spanX, spanY
+	xb.Delay = inWire.Res.Delay + outWire.Res.Delay + extraD
+	xb.EnergyPerTx = float64(cfg.Width) * (inWire.Res.Energy + outWire.Res.Energy + extraE)
+	drv := circuit.TristateDriver(dev, loadIn+20e-15)
+	xb.EnergyPerTx += float64(cfg.Width) * drv.Energy
+	xb.Delay += drv.Delay
+	xb.Leakage = float64(cfg.Width) * (float64(cfg.Inputs)*(inWire.Res.Leakage+drv.Leakage) +
+		float64(cfg.Outputs)*outWire.Res.Leakage)
+	xb.Area = spanX * spanY
+	return xb, nil
+}

@@ -1,0 +1,127 @@
+package crossbar
+
+import (
+	"testing"
+
+	"cactid/internal/tech"
+)
+
+func mk(t *testing.T, in, out, width int) *Crossbar {
+	t.Helper()
+	xb, err := New(Config{
+		Tech: tech.New(tech.Node32), Device: tech.HP,
+		Inputs: in, Outputs: out, Width: width,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return xb
+}
+
+func TestBasic(t *testing.T) {
+	xb := mk(t, 8, 8, 144)
+	if xb.Delay <= 0 || xb.EnergyPerTx <= 0 || xb.Leakage <= 0 || xb.Area <= 0 {
+		t.Fatalf("non-positive outputs: %+v", xb)
+	}
+	// An 8x8 144-bit crossbar at 32nm should traverse in well under
+	// a nanosecond and cost picojoules per flit.
+	if xb.Delay > 2e-9 {
+		t.Errorf("delay %.3g s implausibly slow", xb.Delay)
+	}
+	if xb.EnergyPerTx > 1e-9 {
+		t.Errorf("energy %.3g J implausibly high", xb.EnergyPerTx)
+	}
+}
+
+func TestScalesWithPorts(t *testing.T) {
+	small := mk(t, 4, 4, 128)
+	big := mk(t, 16, 16, 128)
+	if big.Area <= small.Area || big.EnergyPerTx <= small.EnergyPerTx || big.Leakage <= small.Leakage {
+		t.Error("port scaling violated")
+	}
+}
+
+func TestScalesWithWidth(t *testing.T) {
+	narrow := mk(t, 8, 8, 64)
+	wide := mk(t, 8, 8, 512)
+	if wide.EnergyPerTx <= narrow.EnergyPerTx {
+		t.Error("width scaling violated for energy")
+	}
+	if wide.Area <= narrow.Area {
+		t.Error("width scaling violated for area")
+	}
+}
+
+func TestExplicitSpanDominates(t *testing.T) {
+	base := mk(t, 8, 8, 144)
+	far, err := New(Config{
+		Tech: tech.New(tech.Node32), Device: tech.HP,
+		Inputs: 8, Outputs: 8, Width: 144,
+		SpanX: 4e-3, SpanY: 4e-3, // 4mm x 4mm span
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.Delay <= base.Delay || far.EnergyPerTx <= base.EnergyPerTx {
+		t.Error("longer span should cost more delay and energy")
+	}
+	if far.Area != 16e-6 {
+		t.Errorf("area %g, want 16mm^2", far.Area)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	cases := []Config{
+		{},
+		{Tech: tech.New(tech.Node32), Inputs: 0, Outputs: 8, Width: 64},
+		{Tech: tech.New(tech.Node32), Inputs: 8, Outputs: 0, Width: 64},
+		{Tech: tech.New(tech.Node32), Inputs: 8, Outputs: 8, Width: 0},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestPropertyMonotoneInEverything(t *testing.T) {
+	// Delay/energy/area must be monotone non-decreasing in ports,
+	// width, and span.
+	tt := tech.New(tech.Node32)
+	mkc := func(ports, width int, span float64) *Crossbar {
+		xb, err := New(Config{Tech: tt, Device: tech.HP, Inputs: ports, Outputs: ports,
+			Width: width, SpanX: span, SpanY: span})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return xb
+	}
+	base := mkc(4, 128, 2e-3)
+	for _, variant := range []*Crossbar{
+		mkc(8, 128, 2e-3),
+		mkc(4, 256, 2e-3),
+		mkc(4, 128, 4e-3),
+	} {
+		if variant.EnergyPerTx < base.EnergyPerTx {
+			t.Errorf("energy decreased: %+v", variant.Config)
+		}
+		if variant.Area < base.Area {
+			t.Errorf("area decreased: %+v", variant.Config)
+		}
+	}
+}
+
+func TestNodeScaling(t *testing.T) {
+	// The same crossbar at 90nm costs more energy than at 32nm.
+	mk90, err := New(Config{Tech: tech.New(tech.Node90), Device: tech.HP, Inputs: 8, Outputs: 8, Width: 144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk32, err := New(Config{Tech: tech.New(tech.Node32), Device: tech.HP, Inputs: 8, Outputs: 8, Width: 144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mk32.EnergyPerTx >= mk90.EnergyPerTx {
+		t.Errorf("32nm crossbar energy %g not below 90nm %g", mk32.EnergyPerTx, mk90.EnergyPerTx)
+	}
+}

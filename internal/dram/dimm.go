@@ -1,0 +1,72 @@
+package dram
+
+import "fmt"
+
+// DIMMConfig aggregates identical chips into the ranked module the
+// study's memory channels are built from (Section 3.1: single-ranked
+// 8 GB DIMMs of 8 Gb x8 devices).
+type DIMMConfig struct {
+	Chip         ChipConfig
+	ChipsPerRank int // devices accessed in lockstep (64-bit bus / pins)
+	Ranks        int
+}
+
+// DIMM is the evaluated module model.
+type DIMM struct {
+	Cfg  DIMMConfig
+	Chip *Chip
+
+	CapacityBytes int64
+	TotalChips    int
+
+	// Per-line command energies (all chips of the rank act together).
+	LineActivateEnergy float64
+	LineReadEnergy     float64 // ACT excluded: a row-hit read
+	LineWriteEnergy    float64
+
+	// Module standby and refresh power (all chips, all ranks).
+	StandbyPower float64
+	RefreshPower float64
+}
+
+// NewDIMM builds the module model around a chip model.
+func NewDIMM(cfg DIMMConfig) (*DIMM, error) {
+	if cfg.ChipsPerRank <= 0 {
+		return nil, fmt.Errorf("dram: ChipsPerRank must be positive")
+	}
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 1
+	}
+	// The rank must deliver a 64-bit data bus.
+	if cfg.ChipsPerRank*cfg.Chip.DataPins != 64 {
+		return nil, fmt.Errorf("dram: %d x%d chips deliver a %d-bit bus, want 64",
+			cfg.ChipsPerRank, cfg.Chip.DataPins, cfg.ChipsPerRank*cfg.Chip.DataPins)
+	}
+	chip, err := NewChip(cfg.Chip)
+	if err != nil {
+		return nil, err
+	}
+	d := &DIMM{Cfg: cfg, Chip: chip}
+	d.TotalChips = cfg.ChipsPerRank * cfg.Ranks
+	d.CapacityBytes = cfg.Chip.CapacityBits / 8 * int64(d.TotalChips)
+	n := float64(cfg.ChipsPerRank)
+	d.LineActivateEnergy = n * chip.EActivate
+	d.LineReadEnergy = n * chip.ERead
+	d.LineWriteEnergy = n * chip.EWrite
+	d.StandbyPower = float64(d.TotalChips) * chip.StandbyPower
+	d.RefreshPower = float64(d.TotalChips) * chip.RefreshPower
+	return d, nil
+}
+
+// LineBytes returns the bytes delivered per burst by the rank.
+func (d *DIMM) LineBytes() int {
+	return d.Cfg.ChipsPerRank * d.Chip.Cfg.PrefetchWidth / 8
+}
+
+// String summarizes the module.
+func (d *DIMM) String() string {
+	return fmt.Sprintf("%dGB DIMM: %d x %s (x%d chips, %d rank(s)); line ACT+RD %.3gnJ, standby %.3gW, refresh %.3gW",
+		d.CapacityBytes>>30, d.TotalChips,
+		fmt.Sprintf("%dMb", d.Cfg.Chip.CapacityBits>>20), d.Cfg.Chip.DataPins, d.Cfg.Ranks,
+		(d.LineActivateEnergy+d.LineReadEnergy)*1e9, d.StandbyPower, d.RefreshPower)
+}

@@ -1,0 +1,93 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+
+	"cactid/internal/tech"
+)
+
+func studyDIMMConfig() DIMMConfig {
+	return DIMMConfig{
+		Chip: ChipConfig{
+			Tech: tech.New(tech.Node32), CapacityBits: 8 << 30, Banks: 8,
+			DataPins: 8, BurstLength: 8, PageBits: 8192, DataRateMTps: 3200,
+		},
+		ChipsPerRank: 8,
+		Ranks:        1,
+	}
+}
+
+func TestDIMMStudyModule(t *testing.T) {
+	// The study's channel: single-ranked 8GB DIMM of 8Gb x8 devices.
+	d, err := NewDIMM(studyDIMMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CapacityBytes != 8<<30 {
+		t.Errorf("capacity = %d, want 8GB", d.CapacityBytes)
+	}
+	if d.TotalChips != 8 {
+		t.Errorf("chips = %d", d.TotalChips)
+	}
+	if d.LineBytes() != 64 {
+		t.Errorf("line = %dB, want 64 (x8 BL8 rank)", d.LineBytes())
+	}
+	// Table 3: full-rank line read (ACT+RD) ~14nJ.
+	lineNJ := (d.LineActivateEnergy + d.LineReadEnergy) * 1e9
+	if lineNJ < 7 || lineNJ > 25 {
+		t.Errorf("line read %.1fnJ out of band (paper 14.2)", lineNJ)
+	}
+	if d.StandbyPower != 8*d.Chip.StandbyPower {
+		t.Error("standby must sum over chips")
+	}
+	if !strings.Contains(d.String(), "DIMM") {
+		t.Error("String malformed")
+	}
+}
+
+func TestDIMMBusWidthValidated(t *testing.T) {
+	cfg := studyDIMMConfig()
+	cfg.ChipsPerRank = 4 // 4 x8 = 32-bit bus: invalid
+	if _, err := NewDIMM(cfg); err == nil {
+		t.Fatal("32-bit rank should be rejected")
+	}
+	cfg.ChipsPerRank = 0
+	if _, err := NewDIMM(cfg); err == nil {
+		t.Fatal("zero chips should be rejected")
+	}
+}
+
+func TestDIMMx4Rank(t *testing.T) {
+	cfg := studyDIMMConfig()
+	cfg.Chip.DataPins = 4
+	cfg.ChipsPerRank = 16
+	d, err := NewDIMM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CapacityBytes != 16<<30 {
+		t.Errorf("x4 rank capacity = %d, want 16GB", d.CapacityBytes)
+	}
+	// More chips activate per line: higher activate energy.
+	d8, _ := NewDIMM(studyDIMMConfig())
+	if d.LineActivateEnergy <= d8.LineActivateEnergy {
+		t.Error("x4 rank should burn more activation energy per line")
+	}
+}
+
+func TestDIMMTwoRanks(t *testing.T) {
+	cfg := studyDIMMConfig()
+	cfg.Ranks = 2
+	d, err := NewDIMM(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, _ := NewDIMM(studyDIMMConfig())
+	if d.StandbyPower != 2*d1.StandbyPower {
+		t.Error("two ranks should double standby power")
+	}
+	if d.LineReadEnergy != d1.LineReadEnergy {
+		t.Error("per-line energy is a rank property, not a module property")
+	}
+}

@@ -1,0 +1,222 @@
+// Package dram models main-memory DRAM chip organization on top of
+// the array model: banks, data pins, burst length, internal prefetch
+// width and page size (Section 2.1 of the paper), together with the
+// main-memory timing interface (tRCD, CAS latency, tRP, tRAS, tRC,
+// tRRD; Section 2.3.5) and the command energies (ACTIVATE including
+// precharge, READ, WRITE) plus refresh and standby power used in the
+// Table 2 validation against a Micron DDR3-1066 device.
+package dram
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"cactid/internal/array"
+	"cactid/internal/tech"
+)
+
+// ChipConfig specifies a main-memory DRAM chip.
+type ChipConfig struct {
+	Tech *tech.Technology
+
+	CapacityBits int64   // total chip capacity (e.g. 1<<30 for 1Gb)
+	Banks        int     // independent banks (8 for DDR3/DDR4)
+	DataPins     int     // x4 / x8 / x16
+	BurstLength  int     // 4 or 8
+	PageBits     int     // page (row buffer) size per bank in bits
+	DataRateMTps float64 // interface data rate in MT/s (e.g. 1066, 3200)
+
+	// PrefetchWidth is the internal prefetch in bits; zero defaults
+	// to DataPins*BurstLength (8n prefetch for DDR3).
+	PrefetchWidth int
+
+	// RepeaterSlack relaxes the H-tree repeaters (commodity DRAM
+	// favors cheap, dense wiring over speed).
+	RepeaterSlack float64
+}
+
+// Timing is the main-memory timing interface of the modeled chip, in
+// seconds. These are the quantities a memory controller schedules by.
+type Timing struct {
+	TCK    float64 // interface clock period
+	TRCD   float64 // ACTIVATE to READ/WRITE
+	CAS    float64 // READ to first data (CL)
+	TRP    float64 // PRECHARGE period
+	TRAS   float64 // ACTIVATE to PRECHARGE (row restore complete)
+	TRC    float64 // row cycle time = TRAS + TRP
+	TRRD   float64 // ACTIVATE-to-ACTIVATE, different banks
+	TBurst float64 // data burst duration
+}
+
+// Chip is the evaluated main-memory DRAM chip model.
+type Chip struct {
+	Cfg  ChipConfig
+	Bank *array.Bank // the per-bank organization chosen
+
+	Timing Timing
+
+	// Geometry.
+	Area    float64 // chip area (m^2)
+	AreaEff float64 // cell area / chip area
+
+	// Command energies (J). EActivate includes the eventual
+	// precharge, matching the Micron power-calculator convention the
+	// paper validates against.
+	EActivate float64
+	ERead     float64 // one READ burst (PrefetchWidth bits to the pins)
+	EWrite    float64
+
+	RefreshPower float64 // W, averaged over the retention period
+	StandbyPower float64 // W, leakage + interface standby
+}
+
+// ioEnergyPerBit is the off-chip I/O energy per transferred bit at
+// 1.5 V DDR3 signaling (driver + termination), scaled by (V/1.5)^2
+// for other rails.
+const ioEnergyPerBit = 12e-12 // J/bit at 1.5V
+
+// refreshShareFactor discounts per-row refresh energy relative to a
+// normal ACTIVATE+PRECHARGE: refresh batches rows across banks and
+// skips the column/I-O periphery.
+const refreshShareFactor = 0.7
+
+// ErrNoChip is returned when no bank organization satisfies the chip
+// constraints.
+var ErrNoChip = errors.New("dram: no valid bank organization for chip config")
+
+// NewChip builds the chip model. Among the feasible bank
+// organizations it selects the one with the best area efficiency
+// (the paper: "because of the premium on price per bit of commodity
+// DRAM we select one with high area efficiency"), breaking ties
+// toward lower row-cycle time.
+func NewChip(cfg ChipConfig) (*Chip, error) {
+	if cfg.Tech == nil || cfg.CapacityBits <= 0 || cfg.Banks <= 0 || cfg.DataPins <= 0 ||
+		cfg.BurstLength <= 0 || cfg.PageBits <= 0 || cfg.DataRateMTps <= 0 {
+		return nil, fmt.Errorf("dram: invalid config %+v", cfg)
+	}
+	if cfg.PrefetchWidth == 0 {
+		cfg.PrefetchWidth = cfg.DataPins * cfg.BurstLength
+	}
+
+	spec := array.Spec{
+		Tech:          cfg.Tech,
+		RAM:           tech.COMMDRAM,
+		CapacityBytes: cfg.CapacityBits / int64(cfg.Banks) / 8,
+		OutputBits:    cfg.PrefetchWidth,
+		AssocReadout:  1,
+		PageBits:      cfg.PageBits,
+		RepeaterSlack: cfg.RepeaterSlack,
+	}
+	banks := array.Enumerate(spec)
+	if len(banks) == 0 {
+		return nil, ErrNoChip
+	}
+	// Keep organizations within 3% of the best area efficiency
+	// (price-per-bit premium), then pick the lowest-energy one,
+	// breaking ties toward lower row cycle time.
+	bestEff := 0.0
+	for _, b := range banks {
+		if b.AreaEff > bestEff {
+			bestEff = b.AreaEff
+		}
+	}
+	var cands []*array.Bank
+	for _, b := range banks {
+		if b.AreaEff >= bestEff-0.03 {
+			cands = append(cands, b)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		ei := cands[i].EReadTotal()
+		ej := cands[j].EReadTotal()
+		if ei != ej {
+			return ei < ej
+		}
+		return cands[i].RandomCycle < cands[j].RandomCycle
+	})
+	return chipFromBank(cfg, cands[0])
+}
+
+// chipFromBank assembles chip-level figures from a chosen bank.
+func chipFromBank(cfg ChipConfig, b *array.Bank) (*Chip, error) {
+	c := &Chip{Cfg: cfg, Bank: b}
+	m := b.Mat
+	cell := cfg.Tech.Cell(tech.COMMDRAM)
+
+	// ---- Timing ----
+	// DDR: two transfers per clock.
+	tck := 2 / (cfg.DataRateMTps * 1e6)
+	roundUp := func(x float64) float64 { return math.Ceil(x/tck) * tck }
+
+	// Command decode and clock synchronization cost two interface
+	// clocks before the array sees any command.
+	cmd := tck
+	trcd := cmd + b.HtreeInDelay + m.TDecoder + m.TWordline + m.TBitline + m.TSense
+	// Column path: mux select, data H-tree back out, and the I/O
+	// pipeline (DLL, read FIFO, serializer): a fixed latency plus
+	// three interface clocks.
+	cas := m.TColumnMux + b.HtreeOutDelay + 4e-9 + 3*tck
+	tras := trcd + m.TRestore
+	trp := cmd + b.HtreeInDelay + m.TPrecharge
+	c.Timing = Timing{
+		TCK:    tck,
+		TRCD:   roundUp(trcd),
+		CAS:    roundUp(cas),
+		TRP:    roundUp(trp),
+		TRAS:   roundUp(tras),
+		TRC:    roundUp(tras) + roundUp(trp),
+		TRRD:   math.Max(roundUp(b.InterleaveCycle), 2*tck),
+		TBurst: float64(cfg.BurstLength) / 2 * tck,
+	}
+
+	// ---- Area ----
+	// Banks plus the center spine (command/address, DLL, I/O pads):
+	// commodity layouts spend ~12% of the die on the spine and pad
+	// ring.
+	banksArea := float64(cfg.Banks) * b.Area
+	c.Area = banksArea / 0.88
+	cellArea := float64(cfg.CapacityBits) * cell.CellArea(cfg.Tech.F)
+	c.AreaEff = cellArea / c.Area
+
+	// ---- Energies ----
+	// The I/O rail tracks the core rail (1.5 V for DDR3-era parts).
+	ioScale := (cell.Vdd / 1.5) * (cell.Vdd / 1.5)
+	eIO := float64(cfg.PrefetchWidth) * ioEnergyPerBit * ioScale
+	// Per-command control overhead: CA receivers, control logic.
+	eCmd := 0.3e-9 * ioScale
+	c.EActivate = b.EActivate + b.EPrecharge + eCmd
+	c.ERead = b.ERead + eIO + eCmd
+	c.EWrite = b.EWrite + eIO + eCmd
+
+	// ---- Refresh ----
+	// The bank model already charges one activate+precharge (plus
+	// address distribution) per page per retention period; refresh
+	// batches rows across banks, discounting the overhead.
+	c.RefreshPower = float64(cfg.Banks) * b.RefreshPower * refreshShareFactor
+
+	// ---- Standby ----
+	// Array leakage plus interface standby: clock tree, DLL, input
+	// buffers and termination. The interface portion is dominated by
+	// high-speed circuitry whose power tracks the interface clock
+	// rather than the core rail (IDD2N-style: ~44mW for DDR3-1066,
+	// ~92mW for DDR4-3200).
+	fclk := 1 / tck
+	c.StandbyPower = float64(cfg.Banks)*b.Leakage + 20e-3 + 45e-12*fclk
+	return c, nil
+}
+
+// ReadLatency returns the total latency of a random read (closed
+// page): ACTIVATE + CAS, the figure Table 3 reports for the main
+// memory chip.
+func (c *Chip) ReadLatency() float64 { return c.Timing.TRCD + c.Timing.CAS }
+
+// String summarizes the chip.
+func (c *Chip) String() string {
+	t := c.Timing
+	return fmt.Sprintf("%dMb x%d %d banks: tRCD=%.1fns CL=%.1fns tRC=%.1fns tRRD=%.1fns eff=%.0f%% ACT=%.2gnJ RD=%.2gnJ",
+		c.Cfg.CapacityBits>>20, c.Cfg.DataPins, c.Cfg.Banks,
+		t.TRCD*1e9, t.CAS*1e9, t.TRC*1e9, t.TRRD*1e9, c.AreaEff*100,
+		c.EActivate*1e9, c.ERead*1e9)
+}

@@ -1,0 +1,219 @@
+package dram
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cactid/internal/tech"
+)
+
+// micronChip builds the Table 2 validation target: a 78nm Micron 1Gb
+// DDR3-1066 x8 device.
+func micronChip(t *testing.T) *Chip {
+	t.Helper()
+	c, err := NewChip(ChipConfig{
+		Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 8, PageBits: 8192, DataRateMTps: 1066,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// within asserts |got-want|/want <= tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if err := math.Abs(got-want) / want; err > tol {
+		t.Errorf("%s = %.4g, want %.4g (+/-%.0f%%), error %.1f%%", name, got, want, tol*100, err*100)
+	}
+}
+
+// TestTable2MicronValidation checks the paper's Table 2: the actual
+// datasheet/power-calculator values of the Micron device, with
+// tolerance bands at least as tight as the errors the paper itself
+// reports for CACTI-D (-6.2% to -33%).
+func TestTable2MicronValidation(t *testing.T) {
+	c := micronChip(t)
+	within(t, "area efficiency", c.AreaEff, 0.56, 0.10)
+	within(t, "tRCD", c.Timing.TRCD, 13.1e-9, 0.15)
+	within(t, "CAS latency", c.Timing.CAS, 13.1e-9, 0.20)
+	within(t, "tRC", c.Timing.TRC, 52.5e-9, 0.15)
+	within(t, "ACTIVATE energy", c.EActivate, 3.1e-9, 0.30)
+	within(t, "READ energy", c.ERead, 1.6e-9, 0.30)
+	within(t, "WRITE energy", c.EWrite, 1.8e-9, 0.30)
+	within(t, "refresh power", c.RefreshPower, 3.5e-3, 0.35)
+}
+
+func TestTimingRelations(t *testing.T) {
+	c := micronChip(t)
+	tm := c.Timing
+	if tm.TRAS <= tm.TRCD {
+		t.Error("tRAS must exceed tRCD (restore after activation)")
+	}
+	if math.Abs(tm.TRC-(tm.TRAS+tm.TRP)) > 1e-12 {
+		t.Errorf("tRC %g != tRAS %g + tRP %g", tm.TRC, tm.TRAS, tm.TRP)
+	}
+	if tm.TRRD >= tm.TRC {
+		t.Error("multibank interleave (tRRD) must beat the row cycle (tRC)")
+	}
+	if tm.TBurst != 4*tm.TCK {
+		t.Errorf("BL8 burst should last 4 clocks, got %g/%g", tm.TBurst, tm.TCK)
+	}
+	if got := c.ReadLatency(); got != tm.TRCD+tm.CAS {
+		t.Errorf("ReadLatency %g != tRCD+CAS %g", got, tm.TRCD+tm.CAS)
+	}
+}
+
+func TestMultibankInterleavingThroughput(t *testing.T) {
+	// Section 2.1: tRC ~50ns but tRRD ~7.5ns; interleaving must give
+	// a substantial throughput boost.
+	c := micronChip(t)
+	boost := c.Timing.TRC / c.Timing.TRRD
+	if boost < 3 {
+		t.Errorf("interleaving boost only %.1fx; paper expects ~7x (50ns vs 7.5ns)", boost)
+	}
+}
+
+func TestDDR4At32nm(t *testing.T) {
+	// The LLC study's main memory: 8Gb DDR4-3200 x8 at 32nm
+	// (Table 3, last column).
+	c, err := NewChip(ChipConfig{
+		Tech: tech.New(tech.Node32), CapacityBits: 8 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 8, PageBits: 8192, DataRateMTps: 3200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 3: random cycle 98 CPU cycles @2GHz = 49ns.
+	within(t, "tRC", c.Timing.TRC, 49e-9, 0.15)
+	// Area efficiency ~46-57%, area order of 100mm^2.
+	if c.AreaEff < 0.40 || c.AreaEff > 0.65 {
+		t.Errorf("8Gb area efficiency %.2f out of band", c.AreaEff)
+	}
+	if c.Area < 50e-6 || c.Area > 200e-6 {
+		t.Errorf("8Gb chip area %.1f mm^2 out of band", c.Area*1e6)
+	}
+	// Refresh a few mW, standby tens of mW.
+	if c.RefreshPower < 1e-3 || c.RefreshPower > 30e-3 {
+		t.Errorf("refresh power %.2g out of band", c.RefreshPower)
+	}
+}
+
+func TestPageSizeTradeoff(t *testing.T) {
+	// Larger pages cost more activation energy per ACTIVATE.
+	small, err1 := NewChip(ChipConfig{
+		Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 8, PageBits: 4096, DataRateMTps: 1066,
+	})
+	big, err2 := NewChip(ChipConfig{
+		Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 8, PageBits: 16384, DataRateMTps: 1066,
+	})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if big.EActivate <= small.EActivate {
+		t.Errorf("16Kb page ACT %.3g <= 4Kb page ACT %.3g", big.EActivate, small.EActivate)
+	}
+}
+
+func TestBurstLengthScalesReadEnergy(t *testing.T) {
+	bl4, err1 := NewChip(ChipConfig{
+		Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 4, PageBits: 8192, DataRateMTps: 1066,
+	})
+	bl8, err2 := NewChip(ChipConfig{
+		Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 8, PageBits: 8192, DataRateMTps: 1066,
+	})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if bl8.ERead <= bl4.ERead {
+		t.Error("BL8 moves twice the bits of BL4; READ energy must rise")
+	}
+	if bl8.Timing.TBurst != 2*bl4.Timing.TBurst {
+		t.Error("BL8 burst should take twice as long as BL4")
+	}
+}
+
+func TestWiderInterfaceCostsMore(t *testing.T) {
+	x4, err1 := NewChip(ChipConfig{
+		Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 8, DataPins: 4,
+		BurstLength: 8, PageBits: 8192, DataRateMTps: 1066,
+	})
+	x8 := micronChip(t)
+	if err1 != nil {
+		t.Fatal(err1)
+	}
+	if x8.ERead <= x4.ERead {
+		t.Error("x8 READ burst moves twice the bits of x4")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	cases := []ChipConfig{
+		{},
+		{Tech: tech.New(78)},
+		{Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 0, DataPins: 8, BurstLength: 8, PageBits: 8192, DataRateMTps: 1066},
+		{Tech: tech.New(78), CapacityBits: 1 << 30, Banks: 8, DataPins: 8, BurstLength: 8, PageBits: 0, DataRateMTps: 1066},
+	}
+	for i, cfg := range cases {
+		if _, err := NewChip(cfg); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestChipString(t *testing.T) {
+	if s := micronChip(t).String(); len(s) < 20 {
+		t.Errorf("String too short: %q", s)
+	}
+}
+
+func TestRefreshScalesWithCapacity(t *testing.T) {
+	c1 := micronChip(t)
+	c4, err := NewChip(ChipConfig{
+		Tech: tech.New(78), CapacityBits: 4 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 8, PageBits: 8192, DataRateMTps: 1066,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := c4.RefreshPower / c1.RefreshPower
+	if ratio < 2.5 || ratio > 6 {
+		t.Errorf("4x capacity changed refresh power by %.1fx, want ~4x", ratio)
+	}
+}
+
+func TestIDDReport(t *testing.T) {
+	c := micronChip(t)
+	idd := c.IDDReport()
+	// Datasheet sanity for a DDR3-1066 1Gb part: IDD0 tens of mA,
+	// IDD2N a few tens, IDD4R/W around 100-300mA.
+	if idd.IDD0 < 0.02 || idd.IDD0 > 0.3 {
+		t.Errorf("IDD0 = %.1fmA out of band", idd.IDD0*1e3)
+	}
+	if idd.IDD2N < 0.005 || idd.IDD2N > 0.1 {
+		t.Errorf("IDD2N = %.1fmA out of band", idd.IDD2N*1e3)
+	}
+	if idd.IDD4R < 0.05 || idd.IDD4R > 1.0 {
+		t.Errorf("IDD4R = %.1fmA out of band", idd.IDD4R*1e3)
+	}
+	// Orderings: power-down below standby, bursts above cycling,
+	// refresh at least as hungry as cycling.
+	if idd.IDD2P >= idd.IDD2N {
+		t.Error("power-down current must undercut standby")
+	}
+	if idd.IDD4R <= idd.IDD0 || idd.IDD4W <= idd.IDD0 {
+		t.Error("burst currents must exceed ACT-PRE cycling")
+	}
+	if idd.IDD5 < idd.IDD0 {
+		t.Error("burst refresh must be at least IDD0")
+	}
+	if s := idd.String(); !strings.Contains(s, "IDD4R") || !strings.Contains(s, "mA") {
+		t.Error("IDD report malformed")
+	}
+}

@@ -1,0 +1,79 @@
+package dram
+
+import (
+	"errors"
+
+	"cactid/internal/array"
+	"cactid/internal/tech"
+)
+
+// EmbeddedTiming derives a main-memory-style timing interface
+// (ACTIVATE / READ / WRITE / PRECHARGE) for an embedded or stacked
+// DRAM bank, the second operational model of Section 2.3.4. Unlike a
+// commodity chip there is no off-chip I/O pipeline or interface-clock
+// quantization: commands act at core speed, so CAS latency is just the
+// column path, and the multisubbank interleave cycle plays the role of
+// tRRD. clockHz sets TCK for bookkeeping (burst transfers happen over
+// the wide on-die bus in a single beat, so TBurst = one clock).
+//
+// The alternative — the vanilla SRAM-like interface the paper's LLC
+// study uses — needs no timing translation at all: its access and
+// interleave cycle times are the array.Bank's own figures.
+func EmbeddedTiming(b *array.Bank, clockHz float64) (Timing, error) {
+	if b == nil {
+		return Timing{}, errors.New("dram: nil bank")
+	}
+	if !b.Spec.RAM.IsDRAM() {
+		return Timing{}, errors.New("dram: embedded timing requires a DRAM bank")
+	}
+	m := b.Mat
+	tck := 1 / clockHz
+	trcd := b.HtreeInDelay + m.TDecoder + m.TWordline + m.TBitline + m.TSense
+	cas := m.TColumnMux + b.HtreeOutDelay
+	tras := trcd + m.TRestore
+	trp := b.HtreeInDelay + m.TPrecharge
+	return Timing{
+		TCK:    tck,
+		TRCD:   trcd,
+		CAS:    cas,
+		TRP:    trp,
+		TRAS:   tras,
+		TRC:    tras + trp,
+		TRRD:   b.InterleaveCycle,
+		TBurst: tck,
+	}, nil
+}
+
+// EmbeddedBank builds an embedded/stacked DRAM bank suitable for
+// EmbeddedTiming: a convenience wrapper over array.Enumerate that
+// picks the organization with the best interleave cycle within 10% of
+// the best area efficiency.
+func EmbeddedBank(t *tech.Technology, ram tech.RAMType, capacityBytes int64, outputBits, pageBits int) (*array.Bank, error) {
+	if !ram.IsDRAM() {
+		return nil, errors.New("dram: embedded bank requires LP-DRAM or COMM-DRAM")
+	}
+	banks := array.Enumerate(array.Spec{
+		Tech: t, RAM: ram, CapacityBytes: capacityBytes,
+		OutputBits: outputBits, AssocReadout: 1, PageBits: pageBits,
+		MaxPipelineStages: 6,
+	})
+	if len(banks) == 0 {
+		return nil, ErrNoChip
+	}
+	bestEff := 0.0
+	for _, b := range banks {
+		if b.AreaEff > bestEff {
+			bestEff = b.AreaEff
+		}
+	}
+	var pick *array.Bank
+	for _, b := range banks {
+		if b.AreaEff < bestEff*0.9 {
+			continue
+		}
+		if pick == nil || b.InterleaveCycle < pick.InterleaveCycle {
+			pick = b
+		}
+	}
+	return pick, nil
+}

@@ -1,0 +1,89 @@
+package dram
+
+import (
+	"testing"
+
+	"cactid/internal/tech"
+)
+
+func TestEmbeddedBankAndTiming(t *testing.T) {
+	tt := tech.New(tech.Node32)
+	b, err := EmbeddedBank(tt, tech.LPDRAM, 8<<20, 512, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := EmbeddedTiming(b, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.TRCD <= 0 || tm.CAS <= 0 || tm.TRP <= 0 {
+		t.Fatalf("non-positive timing: %+v", tm)
+	}
+	if tm.TRC != tm.TRAS+tm.TRP {
+		t.Error("tRC != tRAS + tRP")
+	}
+	if tm.TRRD != b.InterleaveCycle {
+		t.Error("embedded tRRD should be the multisubbank interleave cycle")
+	}
+}
+
+func TestEmbeddedFasterThanChipInterface(t *testing.T) {
+	// Section 2.3.4: the embedded interface skips the off-chip I/O
+	// pipeline, so its CAS latency must be well below a commodity
+	// chip's CL at the same node.
+	tt := tech.New(tech.Node32)
+	b, err := EmbeddedBank(tt, tech.COMMDRAM, 12<<20, 512, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := EmbeddedTiming(b, 2e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, err := NewChip(ChipConfig{
+		Tech: tt, CapacityBits: 8 << 30, Banks: 8, DataPins: 8,
+		BurstLength: 8, PageBits: 8192, DataRateMTps: 3200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.CAS >= chip.Timing.CAS {
+		t.Errorf("embedded CAS %.2gns not below chip CL %.2gns", tm.CAS*1e9, chip.Timing.CAS*1e9)
+	}
+	if tm.TRCD >= chip.Timing.TRCD {
+		t.Errorf("embedded tRCD %.2gns not below chip %.2gns", tm.TRCD*1e9, chip.Timing.TRCD*1e9)
+	}
+}
+
+func TestEmbeddedErrors(t *testing.T) {
+	tt := tech.New(tech.Node32)
+	if _, err := EmbeddedTiming(nil, 2e9); err == nil {
+		t.Error("nil bank should fail")
+	}
+	if _, err := EmbeddedBank(tt, tech.SRAM, 1<<20, 512, 0); err == nil {
+		t.Error("SRAM embedded bank should fail")
+	}
+	// SRAM bank passed to EmbeddedTiming should fail.
+	sb, err := EmbeddedBank(tt, tech.LPDRAM, 1<<20, 512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Spec.RAM = tech.SRAM
+	if _, err := EmbeddedTiming(sb, 2e9); err == nil {
+		t.Error("non-DRAM bank should fail")
+	}
+}
+
+func TestLPDRAMEmbeddedFasterThanCOMM(t *testing.T) {
+	tt := tech.New(tech.Node32)
+	lp, err1 := EmbeddedBank(tt, tech.LPDRAM, 8<<20, 512, 8192)
+	cm, err2 := EmbeddedBank(tt, tech.COMMDRAM, 8<<20, 512, 8192)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	tlp, _ := EmbeddedTiming(lp, 2e9)
+	tcm, _ := EmbeddedTiming(cm, 2e9)
+	if tlp.TRC >= tcm.TRC {
+		t.Errorf("LP-DRAM tRC %.2gns not below COMM-DRAM %.2gns", tlp.TRC*1e9, tcm.TRC*1e9)
+	}
+}

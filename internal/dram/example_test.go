@@ -1,0 +1,53 @@
+package dram_test
+
+import (
+	"fmt"
+	"log"
+
+	"cactid/internal/dram"
+	"cactid/internal/tech"
+)
+
+// ExampleNewChip models the paper's Table 2 validation target: a
+// 78nm Micron-class 1Gb DDR3-1066 x8 device.
+func ExampleNewChip() {
+	chip, err := dram.NewChip(dram.ChipConfig{
+		Tech:         tech.New(78),
+		CapacityBits: 1 << 30,
+		Banks:        8,
+		DataPins:     8,
+		BurstLength:  8,
+		PageBits:     8192,
+		DataRateMTps: 1066,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("banks: %d\n", chip.Cfg.Banks)
+	fmt.Printf("tRC within DDR3 range: %v\n", chip.Timing.TRC > 40e-9 && chip.Timing.TRC < 60e-9)
+	fmt.Printf("interleaving beats row cycling: %v\n", chip.Timing.TRRD < chip.Timing.TRC/3)
+	// Output:
+	// banks: 8
+	// tRC within DDR3 range: true
+	// interleaving beats row cycling: true
+}
+
+// ExampleEmbeddedTiming derives ACTIVATE/READ/WRITE/PRECHARGE timing
+// for a stacked LP-DRAM bank operated with a main-memory-like
+// interface (Section 2.3.4).
+func ExampleEmbeddedTiming() {
+	t := tech.New(tech.Node32)
+	bank, err := dram.EmbeddedBank(t, tech.LPDRAM, 8<<20, 512, 8192)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tm, err := dram.EmbeddedTiming(bank, 2e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tRC = tRAS + tRP: %v\n", tm.TRC == tm.TRAS+tm.TRP)
+	fmt.Printf("interleave beats row cycle: %v\n", tm.TRRD < tm.TRC)
+	// Output:
+	// tRC = tRAS + tRP: true
+	// interleave beats row cycle: true
+}

@@ -1,0 +1,71 @@
+package dram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IDD approximates the datasheet supply-current specification of the
+// modeled chip — the currency of the Micron power calculator the paper
+// validates against (Table 2). Currents are reported at the cell/core
+// rail.
+type IDD struct {
+	VDD float64 // core rail (V)
+
+	// IDD0: one-bank ACTIVATE-PRECHARGE cycling at tRC.
+	IDD0 float64 // A
+	// IDD2N: precharge standby, CKE high.
+	IDD2N float64 // A
+	// IDD2P: precharge power-down (power-down modes, Section 6).
+	IDD2P float64 // A
+	// IDD4R / IDD4W: burst read / write current (gross, including
+	// background).
+	IDD4R float64 // A
+	IDD4W float64 // A
+	// IDD5: burst refresh.
+	IDD5 float64 // A
+}
+
+// powerDownResidual is the fraction of standby power that remains in
+// power-down (DLL off, input buffers off; self-refresh logic stays).
+const powerDownResidual = 0.15
+
+// IDDReport derives the IDD specification from the chip model.
+func (c *Chip) IDDReport() IDD {
+	vdd := c.Cfg.Tech.Cell(c.Bank.Spec.RAM).Vdd
+	bg := c.StandbyPower / vdd // background current
+
+	var r IDD
+	r.VDD = vdd
+	r.IDD2N = bg
+	r.IDD2P = bg * powerDownResidual
+	// IDD0: ACT+PRE energy amortized over tRC, plus background.
+	r.IDD0 = bg + c.EActivate/c.Timing.TRC/vdd
+	// IDD4R/W: continuous bursts: one READ/WRITE every burst period.
+	r.IDD4R = bg + c.ERead/c.Timing.TBurst/vdd
+	r.IDD4W = bg + c.EWrite/c.Timing.TBurst/vdd
+	// IDD5: refresh power averaged over the retention period, scaled
+	// to the burst-refresh duty cycle (~1/64 of time refreshing at
+	// 64ms retention with 8K refresh commands of ~tRFC each);
+	// approximate as the average refresh current times the inverse
+	// duty factor, floored at IDD0.
+	avgRefresh := c.RefreshPower / vdd
+	r.IDD5 = bg + avgRefresh*64
+	if r.IDD5 < r.IDD0 {
+		r.IDD5 = r.IDD0
+	}
+	return r
+}
+
+// String renders the IDD report datasheet-style (mA).
+func (i IDD) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "IDD report @ VDD=%.2fV\n", i.VDD)
+	fmt.Fprintf(&b, "  IDD0  (ACT-PRE cycling)   %7.1f mA\n", i.IDD0*1e3)
+	fmt.Fprintf(&b, "  IDD2N (precharge standby) %7.1f mA\n", i.IDD2N*1e3)
+	fmt.Fprintf(&b, "  IDD2P (power-down)        %7.1f mA\n", i.IDD2P*1e3)
+	fmt.Fprintf(&b, "  IDD4R (burst read)        %7.1f mA\n", i.IDD4R*1e3)
+	fmt.Fprintf(&b, "  IDD4W (burst write)       %7.1f mA\n", i.IDD4W*1e3)
+	fmt.Fprintf(&b, "  IDD5  (burst refresh)     %7.1f mA\n", i.IDD5*1e3)
+	return b.String()
+}

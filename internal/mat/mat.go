@@ -1,0 +1,367 @@
+// Package mat models the basic physical building block of a CACTI-D
+// memory array: the mat, a 2x2 group of identical subarrays sharing a
+// central predecoder. A subarray is a grid of SRAM 6T or DRAM 1T1C
+// cells (folded array organization for DRAM) with a row-decoder strip,
+// a sense-amplifier strip, precharge devices and column multiplexers.
+//
+// The mat model produces the per-access timing components (decode,
+// wordline, bitline, sense, restore/writeback, precharge), the
+// activation/read/write energies, leakage and refresh power, and the
+// mat footprint with pitch-matched peripheral circuitry — following
+// the paper's approach of keeping SRAM and DRAM on a common framework
+// and modeling only their essential differences (Section 2.3).
+package mat
+
+import (
+	"errors"
+	"fmt"
+
+	"cactid/internal/circuit"
+	"cactid/internal/tech"
+)
+
+// Config specifies one mat. Rows and Cols refer to a single subarray;
+// the mat holds 4 (2x2) subarrays.
+type Config struct {
+	Tech *tech.Technology
+	RAM  tech.RAMType
+
+	Rows int // wordlines per subarray (power of two)
+	Cols int // bitline pairs per subarray (power of two)
+
+	// DegBLMux is the column (bitline) multiplexing degree: the
+	// number of bitline pairs sharing one sense amplifier for SRAM,
+	// or the number of sensed columns gated to one data line for
+	// DRAM (DRAM senses every column — the page — and muxes after
+	// the amplifiers).
+	DegBLMux int
+
+	// Ports is the number of independent read/write ports (SRAM
+	// only; >1 grows the cell by one wordline and one bitline pair
+	// per extra port). Zero means 1.
+	Ports int
+}
+
+// subarraysPerMat is fixed by the mat floorplan (2x2 around the
+// central predecode/driver spine).
+const subarraysPerMat = 4
+
+// contactCap is the fixed bitline contact capacitance contributed by
+// each cell attached to a bitline, beyond junction and wire
+// capacitance. Roughly constant across nodes (contact size does not
+// scale as fast as gate length).
+const contactCap = 0.08e-15 // F
+
+// Mat is the evaluated physical model.
+type Mat struct {
+	Config
+
+	// Geometry.
+	Width, Height float64 // m
+	Area          float64 // m^2 (Width*Height)
+	CellArea      float64 // m^2 of pure cell matrix (for area efficiency)
+
+	// Timing components (s), in access order.
+	TDecoder   float64 // predecode + row decode up to wordline driver input
+	TWordline  float64 // wordline driver + RC rise
+	TBitline   float64 // bitline signal development (read)
+	TSense     float64 // sense amplifier resolution
+	TColumnMux float64 // column select and mux to mat data lines
+	TRestore   float64 // DRAM writeback/restore after destructive read (0 for SRAM)
+	TPrecharge float64 // bitline precharge/equalize
+
+	// Bitline electricals (exposed for the DRAM chip-level model).
+	CBitline float64 // per-bitline capacitance (F)
+	VSignal  float64 // developed read signal (V)
+
+	// Energy per mat access (J). EActivate covers row decode +
+	// wordline + bitline swing + sensing of the full row (for DRAM
+	// this is the page-activation energy share of this mat). ERead /
+	// EWrite cover the column path per access. EPrecharge restores
+	// the bitlines.
+	EActivate    float64
+	ERead        float64
+	EWrite       float64
+	EWritePerBit float64 // bitline energy to write a single bit
+	EPrecharge   float64
+
+	// Standby power (W).
+	Leakage      float64
+	RefreshPower float64
+
+	// DataBitsOut is the number of data bits the mat delivers per
+	// access after column muxing.
+	DataBitsOut int
+}
+
+// Common validation errors.
+var (
+	ErrSignalMargin = errors.New("mat: DRAM bitline too long, read signal below sense amplifier minimum")
+	ErrBadConfig    = errors.New("mat: invalid configuration")
+)
+
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }
+
+// dramAccessRes is the effective resistance of the 1T1C access
+// transistor during charge transfer and writeback. The wordline boost
+// to VPP improves the gate overdrive; the resistance scales inversely
+// with (VPP - Vth - Vdd/2), the overdrive available when restoring a
+// full "1" into the cell.
+func dramAccessRes(acc *tech.DeviceParams, cell *tech.CellParams) float64 {
+	overdrive := cell.Vpp - acc.Vth - cell.Vdd/2
+	if overdrive < 0.2 {
+		overdrive = 0.2
+	}
+	return 0.75 * (cell.Vdd / overdrive) * acc.RnOnPerWidth / cell.AccessWidth
+}
+
+// New evaluates the mat model for cfg. It returns ErrSignalMargin if
+// a DRAM configuration cannot develop enough differential signal, or
+// ErrBadConfig for malformed inputs.
+func New(cfg Config) (*Mat, error) {
+	if cfg.Tech == nil {
+		return nil, fmt.Errorf("%w: nil Technology", ErrBadConfig)
+	}
+	if !isPow2(cfg.Rows) || !isPow2(cfg.Cols) {
+		return nil, fmt.Errorf("%w: rows=%d cols=%d must be powers of two", ErrBadConfig, cfg.Rows, cfg.Cols)
+	}
+	if cfg.DegBLMux < 1 {
+		cfg.DegBLMux = 1
+	}
+	if cfg.Cols%cfg.DegBLMux != 0 {
+		return nil, fmt.Errorf("%w: cols %d not divisible by mux degree %d", ErrBadConfig, cfg.Cols, cfg.DegBLMux)
+	}
+	if cfg.Ports < 1 {
+		cfg.Ports = 1
+	}
+	if cfg.Ports > 1 && cfg.RAM.IsDRAM() {
+		return nil, fmt.Errorf("%w: multiported cells are SRAM-only", ErrBadConfig)
+	}
+
+	t := cfg.Tech
+	cell := t.Cell(cfg.RAM)
+	acc := t.Device(cell.AccessDevice)
+	per := t.Device(cell.PeripheralDevice)
+	isDRAM := cfg.RAM.IsDRAM()
+
+	m := &Mat{Config: cfg}
+
+	f := t.F
+	cellW := cell.CellWidth(f)
+	cellH := cell.CellHeight(f)
+	// Each extra port adds a wordline track to the cell height and a
+	// bitline-pair track to the cell width (classic multiport
+	// growth: the cell area grows roughly quadratically with ports).
+	if extra := float64(cfg.Ports - 1); extra > 0 {
+		cellW += 2 * f * extra
+		cellH += 2 * f * extra
+	}
+	saWidth := float64(cfg.Cols) * cellW
+	saHeight := float64(cfg.Rows) * cellH
+
+	// ---- Wordline ----
+	// Local wire along the row, in the cell's bitline-compatible
+	// metal (copper for SRAM/LP-DRAM rows too; rows are typically
+	// strapped metal over poly).
+	wlWire := t.WireOf(tech.WireLocal, tech.Copper)
+	wlLen := saWidth
+	// Gate load: SRAM has two access transistors per cell on the
+	// wordline; DRAM one.
+	gatesPerCell := 2.0
+	if isDRAM {
+		gatesPerCell = 1.0
+	}
+	cGate := (acc.CgIdealPerWidth + acc.CFringePerWidth) * cell.AccessWidth
+	cWL := wlWire.CPerLen*wlLen + float64(cfg.Cols)*gatesPerCell*cGate
+	rWL := wlWire.RPerLen * wlLen
+
+	// Wordline driver chain, pitch-matched to the cell height.
+	minCin := 3 * (per.CgIdealPerWidth + per.CFringePerWidth) * 6 * per.Lphy
+	wlChain := circuit.OptimalChain(per, minCin, cWL, 1)
+	// Distributed RC rise of the line itself.
+	tWLrc := 0.38 * rWL * cWL
+	m.TWordline = wlChain.Res.Delay + tWLrc
+
+	// Wordline swing voltage: boosted for DRAM.
+	vWL := per.Vdd
+	if isDRAM {
+		vWL = cell.Vpp
+	}
+	eWL := cWL * vWL * vWL // full swing up and down per activation
+
+	// ---- Row decoder ----
+	predecWireLen := saHeight / 2
+	gWire := t.Wire(tech.WireSemiGlobal)
+	dec := circuit.NewDecoder(per, cfg.Rows, wlChain.Res.Cin,
+		gWire.CPerLen*predecWireLen, gWire.RPerLen*predecWireLen)
+	m.TDecoder = dec.Res.Delay
+
+	// ---- Bitline ----
+	blWire := t.WireOf(tech.WireLocal, cell.BitlineMaterial)
+	blLen := saHeight
+	// Cells attached per bitline: every row for SRAM; every other
+	// row for the folded DRAM array.
+	attach := float64(cfg.Rows)
+	if isDRAM {
+		attach = float64(cfg.Rows) / 2
+	}
+	cPerCell := acc.CJuncPerWidth*cell.AccessWidth + contactCap
+	cBL := blWire.CPerLen*blLen + attach*cPerCell
+	rBL := blWire.RPerLen * blLen
+	m.CBitline = cBL
+
+	if isDRAM {
+		// Charge redistribution: cell cap shares with the bitline.
+		cs := cell.Cs
+		m.VSignal = (cell.Vdd / 2) * cs / (cs + cBL)
+		if m.VSignal < cell.SenseVmin {
+			return nil, fmt.Errorf("%w: rows=%d gives %.1fmV < %.1fmV",
+				ErrSignalMargin, cfg.Rows, m.VSignal*1e3, cell.SenseVmin*1e3)
+		}
+		// Transfer through the boosted access device onto the
+		// series-parallel capacitance, plus distributed bitline RC.
+		rAcc := dramAccessRes(acc, cell)
+		cShare := cs * cBL / (cs + cBL)
+		m.TBitline = 2.3*rAcc*cShare + 0.38*rBL*cBL
+	} else {
+		// SRAM: the cell pulls one bitline down through the
+		// access/driver stack until the differential reaches the
+		// sense minimum.
+		iCell := acc.IonN * cell.AccessWidth / 2 // two-device stack
+		m.VSignal = cell.SenseVmin
+		m.TBitline = cBL*cell.SenseVmin/iCell + 0.38*rBL*cBL
+	}
+
+	// ---- Sense amplifiers ----
+	nSA := cfg.Cols
+	if !isDRAM {
+		nSA = cfg.Cols / cfg.DegBLMux
+	}
+	sa := circuit.SenseAmp(t, per, nSA, cellW*float64(cfg.DegBLMux))
+	m.TSense = sa.Delay
+
+	// ---- Column mux / data-out path ----
+	m.DataBitsOut = cfg.Cols / cfg.DegBLMux * subarraysPerMat
+	colSel := circuit.NewDecoder(per, cfg.DegBLMux, 20e-15,
+		gWire.CPerLen*saWidth/4, gWire.RPerLen*saWidth/4)
+	if cfg.DegBLMux > 1 {
+		m.TColumnMux = colSel.Res.Delay / 2 // overlaps with sensing partially
+	} else {
+		m.TColumnMux = 0
+	}
+
+	// ---- Restore / writeback and precharge ----
+	// DRAM sense amplifiers are pitch-matched to the narrow cell,
+	// so their drive devices are small; SRAM precharge devices can
+	// be wide.
+	if isDRAM {
+		saDrive := circuit.NewInverter(per, 8*per.Lphy)
+		rSA := saDrive.DriveRes()
+		// Full-swing restore of the bitline through the sense amp
+		// and writeback into the cell through the access device.
+		rAcc := dramAccessRes(acc, cell)
+		// Writeback must fully restore the weakest cell (several
+		// time constants of the access-device/cell RC).
+		m.TRestore = 2.3*(rSA+rBL/2)*cBL + 5.2*rAcc*cell.Cs
+		// Wordline must fall before the bitline pair equalizes back
+		// to Vdd/2, with margin.
+		m.TPrecharge = m.TWordline + 3.0*(rSA+rBL/2)*cBL
+	} else {
+		pre := circuit.NewInverter(per, 30*per.Lphy)
+		// Recover the small read swing back to the rail: the
+		// perturbation is SenseVmin, so one time constant with
+		// margin suffices.
+		m.TPrecharge = 1.2 * (pre.DriveRes() + rBL/2) * cBL
+	}
+
+	// ---- Energy ----
+	vdd := cell.Vdd
+	var eBLAct float64
+	if isDRAM {
+		// Activation swings every bitline in the subarray: charge
+		// redistribution plus sensing plus the full-rail restore
+		// amounts to roughly a full Vdd swing per pair — and the
+		// destructive readout means every cell of the row must be
+		// written back (half CsVdd^2 each).
+		eBLAct = float64(cfg.Cols) * (cBL*vdd*vdd + 0.5*cell.Cs*vdd*vdd)
+	} else {
+		// Read discharge: only the selected columns' bitlines swing
+		// by the sense margin... but all columns are precharged and
+		// the accessed row discharges all of them slightly; CACTI
+		// charges the full column count at the read swing.
+		eBLAct = float64(cfg.Cols) * cBL * cell.SenseVmin * vdd
+	}
+	// All four subarrays of the mat activate together.
+	m.EActivate = float64(subarraysPerMat) * (dec.Res.Energy + wlChain.Res.Energy + eWL + eBLAct + sa.Energy)
+	m.ERead = float64(subarraysPerMat) * (colSel.Res.Energy +
+		float64(m.DataBitsOut/subarraysPerMat)*20e-15*per.Vdd*per.Vdd)
+	// Writing one bit drives its bitline pair full swing.
+	m.EWritePerBit = cBL * vdd * vdd * 0.5
+	m.EWrite = m.ERead + float64(m.DataBitsOut)*m.EWritePerBit
+	if isDRAM {
+		m.EPrecharge = float64(subarraysPerMat) * float64(cfg.Cols) * cBL * (vdd / 2) * (vdd / 2)
+	} else {
+		m.EPrecharge = float64(subarraysPerMat) * float64(cfg.Cols) * cBL * cell.SenseVmin * vdd * 0.5
+	}
+
+	// ---- Leakage ----
+	var cellLeak float64
+	if !isDRAM {
+		// 6T cell: access + pull-down/pull-up subthreshold paths,
+		// plus two access transistors per extra port.
+		cellLeak = vdd * acc.IoffN * cell.AccessWidth * (4.5 + 2*float64(cfg.Ports-1))
+	}
+	nCells := float64(subarraysPerMat) * float64(cfg.Rows) * float64(cfg.Cols)
+	m.Leakage = nCells*cellLeak +
+		float64(subarraysPerMat)*(dec.Res.Leakage+wlChain.Res.Leakage*float64(cfg.Rows)+sa.Leakage+colSel.Res.Leakage)
+
+	// ---- Refresh ----
+	if isDRAM {
+		// Every row of every subarray must be activated and
+		// precharged once per retention period.
+		ePerRowRefresh := (m.EActivate + m.EPrecharge) / float64(subarraysPerMat)
+		m.RefreshPower = float64(subarraysPerMat) * float64(cfg.Rows) * ePerRowRefresh / cell.RetentionT
+	}
+
+	// ---- Geometry ----
+	// Central vertical strip holds the predecoder plus one wordline
+	// driver per wordline (4*Rows of them), each folded to the cell
+	// height (pitch matching). Sense strips (amps + precharge +
+	// write drivers + column mux) run under each subarray pair.
+	var drvWidths []float64
+	for _, st := range wlChain.Stages {
+		drvWidths = append(drvWidths, st.Wn, st.Wp)
+	}
+	wlDrvArea := circuit.GateArea(per, drvWidths, cellH)
+	decStripArea := 2*dec.Res.Area + float64(subarraysPerMat*cfg.Rows)*wlDrvArea
+	decWidth := decStripArea / (2 * saHeight)
+	// Sense strip: amps pitch-matched to the column pitch, plus 60%
+	// for precharge/equalize, write drivers and the column mux.
+	saStripH := 1.6 * sa.Area / saWidth
+	m.CellArea = float64(subarraysPerMat) * saWidth * saHeight
+	m.Width = 2*saWidth + decWidth
+	m.Height = 2*saHeight + 2*saStripH
+	m.Area = m.Width * m.Height
+	return m, nil
+}
+
+// AccessTime returns the read access time through the mat: decode,
+// wordline, bitline development, sensing and column mux.
+func (m *Mat) AccessTime() float64 {
+	return m.TDecoder + m.TWordline + m.TBitline + m.TSense + m.TColumnMux
+}
+
+// RandomCycleTime returns the minimum interval between two accesses to
+// the same subarray: for DRAM this includes the destructive-readout
+// writeback/restore and precharge (Section 2.3.2); for SRAM only
+// bitline recovery.
+func (m *Mat) RandomCycleTime() float64 {
+	if m.RAM.IsDRAM() {
+		return m.TWordline + m.TBitline + m.TSense + m.TRestore + m.TPrecharge
+	}
+	return m.TWordline + m.TBitline + m.TSense + m.TPrecharge
+}
+
+// AreaEfficiency returns the fraction of the mat footprint occupied by
+// cells.
+func (m *Mat) AreaEfficiency() float64 { return m.CellArea / m.Area }

@@ -1,0 +1,215 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cactid/internal/tech"
+)
+
+func mk(t *testing.T, ram tech.RAMType, rows, cols, mux int) *Mat {
+	t.Helper()
+	m, err := New(Config{Tech: tech.New(tech.Node32), RAM: ram, Rows: rows, Cols: cols, DegBLMux: mux})
+	if err != nil {
+		t.Fatalf("New(%v %dx%d): %v", ram, rows, cols, err)
+	}
+	return m
+}
+
+func TestSRAMBasic(t *testing.T) {
+	m := mk(t, tech.SRAM, 256, 256, 4)
+	if m.AccessTime() <= 0 || m.RandomCycleTime() <= 0 {
+		t.Fatal("non-positive timing")
+	}
+	if m.TRestore != 0 {
+		t.Error("SRAM has no restore phase")
+	}
+	if m.RefreshPower != 0 {
+		t.Error("SRAM needs no refresh")
+	}
+	if m.Leakage <= 0 {
+		t.Error("SRAM mat must leak")
+	}
+	eff := m.AreaEfficiency()
+	if eff < 0.2 || eff > 0.95 {
+		t.Errorf("area efficiency %.2f out of band", eff)
+	}
+	if m.DataBitsOut != 256/4*4 {
+		t.Errorf("DataBitsOut=%d", m.DataBitsOut)
+	}
+}
+
+func TestDRAMBasic(t *testing.T) {
+	for _, ram := range []tech.RAMType{tech.LPDRAM, tech.COMMDRAM} {
+		m := mk(t, ram, 512, 512, 8)
+		if m.TRestore <= 0 {
+			t.Errorf("%v: destructive readout requires restore", ram)
+		}
+		if m.RefreshPower <= 0 {
+			t.Errorf("%v: refresh power must be positive", ram)
+		}
+		if m.RandomCycleTime() <= m.AccessTime()-m.TDecoder-m.TColumnMux {
+			t.Errorf("%v: DRAM cycle %g should exceed its access path %g due to restore",
+				ram, m.RandomCycleTime(), m.AccessTime())
+		}
+		if m.VSignal < m.Tech.Cell(ram).SenseVmin {
+			t.Errorf("%v: accepted config with too-small signal", ram)
+		}
+	}
+}
+
+func TestDRAMSignalMarginRejection(t *testing.T) {
+	// Extremely long bitlines must be rejected.
+	_, err := New(Config{Tech: tech.New(tech.Node32), RAM: tech.COMMDRAM, Rows: 65536, Cols: 64, DegBLMux: 1})
+	if !errors.Is(err, ErrSignalMargin) {
+		t.Fatalf("err = %v, want ErrSignalMargin", err)
+	}
+}
+
+func TestBadConfigs(t *testing.T) {
+	tt := tech.New(tech.Node32)
+	cases := []Config{
+		{Tech: nil, RAM: tech.SRAM, Rows: 64, Cols: 64},
+		{Tech: tt, RAM: tech.SRAM, Rows: 100, Cols: 64},
+		{Tech: tt, RAM: tech.SRAM, Rows: 64, Cols: 100},
+		{Tech: tt, RAM: tech.SRAM, Rows: 64, Cols: 64, DegBLMux: 3},
+		{Tech: tt, RAM: tech.SRAM, Rows: 0, Cols: 64},
+	}
+	for i, c := range cases {
+		if _, err := New(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestCOMMDRAMSlowerThanLPDRAM(t *testing.T) {
+	// The paper: COMM-DRAM access is ~3x slower than LP-DRAM at equal
+	// organization (LSTP periphery + tungsten bitlines).
+	lp := mk(t, tech.LPDRAM, 512, 512, 8)
+	cm := mk(t, tech.COMMDRAM, 512, 512, 8)
+	if cm.AccessTime() <= lp.AccessTime()*1.5 {
+		t.Errorf("COMM-DRAM access %.3gns not well above LP-DRAM %.3gns",
+			cm.AccessTime()*1e9, lp.AccessTime()*1e9)
+	}
+	if cm.RandomCycleTime() <= lp.RandomCycleTime() {
+		t.Error("COMM-DRAM cycle should exceed LP-DRAM cycle")
+	}
+}
+
+func TestSRAMFasterThanLPDRAM(t *testing.T) {
+	s := mk(t, tech.SRAM, 256, 256, 4)
+	lp := mk(t, tech.LPDRAM, 256, 256, 4)
+	if s.RandomCycleTime() >= lp.RandomCycleTime() {
+		t.Error("SRAM random cycle should beat LP-DRAM (no restore)")
+	}
+}
+
+func TestDensityOrdering(t *testing.T) {
+	// Same bits: COMM-DRAM smallest, SRAM largest.
+	s := mk(t, tech.SRAM, 256, 256, 4)
+	lp := mk(t, tech.LPDRAM, 256, 256, 4)
+	cm := mk(t, tech.COMMDRAM, 256, 256, 4)
+	if !(cm.Area < lp.Area && lp.Area < s.Area) {
+		t.Errorf("area ordering violated: SRAM %g, LP %g, COMM %g", s.Area, lp.Area, cm.Area)
+	}
+}
+
+func TestLeakageOrdering(t *testing.T) {
+	// SRAM mats leak far more than COMM-DRAM mats (HP-long-channel vs
+	// LSTP periphery plus 6T cell leakage).
+	s := mk(t, tech.SRAM, 256, 256, 4)
+	cm := mk(t, tech.COMMDRAM, 256, 256, 4)
+	if s.Leakage <= 5*cm.Leakage {
+		t.Errorf("SRAM leakage %g not well above COMM-DRAM %g", s.Leakage, cm.Leakage)
+	}
+}
+
+func TestRefreshOrdering(t *testing.T) {
+	// LP-DRAM refreshes ~500x more often than COMM-DRAM; per-bit
+	// refresh power must be much higher.
+	lp := mk(t, tech.LPDRAM, 512, 512, 8)
+	cm := mk(t, tech.COMMDRAM, 512, 512, 8)
+	if lp.RefreshPower <= 10*cm.RefreshPower {
+		t.Errorf("LP-DRAM refresh %g not well above COMM-DRAM %g", lp.RefreshPower, cm.RefreshPower)
+	}
+}
+
+func TestTimingMonotoneInRows(t *testing.T) {
+	// More rows -> longer bitlines -> slower bitline phase and
+	// larger area.
+	prevBL, prevArea := 0.0, 0.0
+	for _, rows := range []int{128, 256, 512, 1024} {
+		m := mk(t, tech.COMMDRAM, rows, 256, 4)
+		if m.TBitline <= prevBL {
+			t.Errorf("rows=%d: TBitline %g not > %g", rows, m.TBitline, prevBL)
+		}
+		if m.Area <= prevArea {
+			t.Errorf("rows=%d: area %g not > %g", rows, m.Area, prevArea)
+		}
+		prevBL, prevArea = m.TBitline, m.Area
+	}
+}
+
+func TestEnergyMonotoneInCols(t *testing.T) {
+	prev := 0.0
+	for _, cols := range []int{128, 256, 512} {
+		m := mk(t, tech.LPDRAM, 256, cols, 4)
+		if m.EActivate <= prev {
+			t.Errorf("cols=%d: EActivate %g not > %g", cols, m.EActivate, prev)
+		}
+		prev = m.EActivate
+	}
+}
+
+func TestWriteCostsMoreThanRead(t *testing.T) {
+	for _, ram := range []tech.RAMType{tech.SRAM, tech.LPDRAM, tech.COMMDRAM} {
+		m := mk(t, ram, 256, 256, 4)
+		if m.EWrite <= m.ERead {
+			t.Errorf("%v: EWrite %g <= ERead %g", ram, m.EWrite, m.ERead)
+		}
+	}
+}
+
+func TestMuxReducesDataBits(t *testing.T) {
+	a := mk(t, tech.SRAM, 256, 256, 1)
+	b := mk(t, tech.SRAM, 256, 256, 8)
+	if a.DataBitsOut != 8*b.DataBitsOut {
+		t.Errorf("mux 8 should cut data bits 8x: %d vs %d", a.DataBitsOut, b.DataBitsOut)
+	}
+}
+
+func TestPropertyValidConfigsProduceFiniteModel(t *testing.T) {
+	tt := tech.New(tech.Node32)
+	f := func(r, c, mx uint8) bool {
+		rows := 64 << (r % 5) // 64..1024
+		cols := 64 << (c % 4) // 64..512
+		mux := 1 << (mx % 3)  // 1..4
+		m, err := New(Config{Tech: tt, RAM: tech.SRAM, Rows: rows, Cols: cols, DegBLMux: mux})
+		if err != nil {
+			return false
+		}
+		vals := []float64{m.AccessTime(), m.RandomCycleTime(), m.Area, m.EActivate, m.Leakage}
+		for _, v := range vals {
+			if v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return m.AreaEfficiency() > 0 && m.AreaEfficiency() < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNodeScalingShrinksMat(t *testing.T) {
+	big, err := New(Config{Tech: tech.New(tech.Node90), RAM: tech.SRAM, Rows: 256, Cols: 256, DegBLMux: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := mk(t, tech.SRAM, 256, 256, 4)
+	if small.Area >= big.Area {
+		t.Errorf("32nm mat %g not smaller than 90nm %g", small.Area, big.Area)
+	}
+}

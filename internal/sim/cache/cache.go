@@ -1,0 +1,231 @@
+// Package cache provides the fast set-associative cache model used by
+// the architectural simulator: true-LRU replacement, write-back
+// write-allocate, MESI line states, and event counters sized for
+// simulating hundreds of millions of references.
+package cache
+
+// State is a MESI coherence state.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "I"
+}
+
+// Stats counts cache events.
+type Stats struct {
+	Reads, Writes             uint64
+	ReadMisses, WriteMisses   uint64
+	Evictions, DirtyEvictions uint64
+	Invalidations             uint64
+}
+
+// Accesses returns total accesses.
+func (s *Stats) Accesses() uint64 { return s.Reads + s.Writes }
+
+// Misses returns total misses.
+func (s *Stats) Misses() uint64 { return s.ReadMisses + s.WriteMisses }
+
+// MissRate returns the overall miss ratio (0 when idle).
+func (s *Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses()) / float64(a)
+}
+
+// Cache is one set-associative cache. The zero value is unusable;
+// construct with New.
+type Cache struct {
+	Sets, Ways, LineBytes int
+
+	offShift uint
+
+	tags  []uint64 // line address (addr >> offShift), valid iff state != Invalid
+	state []State
+	lru   []uint32
+	clock uint32
+
+	Stats Stats
+}
+
+// New builds a cache of totalBytes capacity. totalBytes must be
+// divisible by ways*lineBytes; the resulting set count need not be a
+// power of two (sets are selected by modulo), which supports the
+// study's 12/18/24-way LLCs.
+func New(totalBytes int64, ways, lineBytes int) *Cache {
+	if totalBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	lines := totalBytes / int64(lineBytes)
+	sets := lines / int64(ways)
+	if sets <= 0 || lines%int64(ways) != 0 {
+		panic("cache: capacity not divisible by ways*lineBytes")
+	}
+	off := uint(0)
+	for 1<<off < lineBytes {
+		off++
+	}
+	c := &Cache{
+		Sets: int(sets), Ways: ways, LineBytes: lineBytes,
+		offShift: off,
+		tags:     make([]uint64, lines),
+		state:    make([]State, lines),
+		lru:      make([]uint32, lines),
+	}
+	return c
+}
+
+// line returns the line address for a byte address.
+func (c *Cache) line(addr uint64) uint64 { return addr >> c.offShift }
+
+// set returns the set index for a byte address.
+func (c *Cache) set(addr uint64) int { return int(c.line(addr) % uint64(c.Sets)) }
+
+// probe finds the way holding addr, or -1.
+func (c *Cache) probe(addr uint64) int {
+	ln := c.line(addr)
+	base := c.set(addr) * c.Ways
+	for w := 0; w < c.Ways; w++ {
+		if c.state[base+w] != Invalid && c.tags[base+w] == ln {
+			return base + w
+		}
+	}
+	return -1
+}
+
+// Contains reports whether addr is present, without touching LRU or
+// stats.
+func (c *Cache) Contains(addr uint64) bool { return c.probe(addr) >= 0 }
+
+// GetState returns the MESI state of addr (Invalid if absent).
+func (c *Cache) GetState(addr uint64) State {
+	if i := c.probe(addr); i >= 0 {
+		return c.state[i]
+	}
+	return Invalid
+}
+
+// SetState updates the MESI state of a present line; it is a no-op if
+// the line is absent.
+func (c *Cache) SetState(addr uint64, s State) {
+	if i := c.probe(addr); i >= 0 {
+		c.state[i] = s
+	}
+}
+
+// Access performs a read or write lookup, updating LRU and stats.
+// It returns whether the access hit. A write hit upgrades the line to
+// Modified; upgrades from Shared are the caller's business (coherence
+// actions), but the local state still moves to Modified.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	i := c.probe(addr)
+	if write {
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+	if i < 0 {
+		if write {
+			c.Stats.WriteMisses++
+		} else {
+			c.Stats.ReadMisses++
+		}
+		return false
+	}
+	c.lru[i] = c.clock
+	if write {
+		c.state[i] = Modified
+	}
+	return true
+}
+
+// Victim holds an evicted line.
+type Victim struct {
+	Addr  uint64 // byte address of the line
+	State State
+	Valid bool
+}
+
+// Insert fills addr with the given state, evicting the LRU line of
+// the set if needed. The evicted line (if any) is returned.
+func (c *Cache) Insert(addr uint64, st State) Victim {
+	c.clock++
+	if i := c.probe(addr); i >= 0 { // already present: refresh
+		c.state[i] = st
+		c.lru[i] = c.clock
+		return Victim{}
+	}
+	base := c.set(addr) * c.Ways
+	victim := base
+	for w := 0; w < c.Ways; w++ {
+		if c.state[base+w] == Invalid {
+			victim = base + w
+			goto place
+		}
+		if c.lru[base+w] < c.lru[victim] {
+			victim = base + w
+		}
+	}
+place:
+	var out Victim
+	if c.state[victim] != Invalid {
+		out = Victim{Addr: c.tags[victim] << c.offShift, State: c.state[victim], Valid: true}
+		c.Stats.Evictions++
+		if c.state[victim] == Modified {
+			c.Stats.DirtyEvictions++
+		}
+	}
+	c.tags[victim] = c.line(addr)
+	c.state[victim] = st
+	c.lru[victim] = c.clock
+	return out
+}
+
+// Invalidate removes addr, returning its prior state (Invalid if it
+// was absent).
+func (c *Cache) Invalidate(addr uint64) State {
+	i := c.probe(addr)
+	if i < 0 {
+		return Invalid
+	}
+	st := c.state[i]
+	c.state[i] = Invalid
+	c.Stats.Invalidations++
+	return st
+}
+
+// WayOf returns the way index holding addr within its set, or -1.
+func (c *Cache) WayOf(addr uint64) int {
+	i := c.probe(addr)
+	if i < 0 {
+		return -1
+	}
+	return i % c.Ways
+}
+
+// Touch refreshes LRU for a present line (used when an upper level
+// hits and the lower level should observe recency, e.g. inclusive
+// LLCs).
+func (c *Cache) Touch(addr uint64) {
+	if i := c.probe(addr); i >= 0 {
+		c.clock++
+		c.lru[i] = c.clock
+	}
+}

@@ -1,0 +1,183 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(64<<10, 8, 64)
+	if c.Access(0x1000, false) {
+		t.Fatal("cold cache should miss")
+	}
+	c.Insert(0x1000, Exclusive)
+	if !c.Access(0x1000, false) {
+		t.Fatal("inserted line should hit")
+	}
+	if !c.Access(0x1020, false) {
+		t.Fatal("same line, different offset should hit")
+	}
+	if c.Access(0x2000, false) {
+		t.Fatal("different line should miss")
+	}
+}
+
+func TestWriteSetsModified(t *testing.T) {
+	c := New(64<<10, 8, 64)
+	c.Insert(0x40, Shared)
+	if !c.Access(0x40, true) {
+		t.Fatal("write to present line should hit")
+	}
+	if got := c.GetState(0x40); got != Modified {
+		t.Fatalf("state after write = %v, want M", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way cache, one set per conflict class: fill two ways, touch
+	// the first, insert a third: the second must be evicted.
+	c := New(2*64, 2, 64) // 1 set, 2 ways
+	c.Insert(0x0000, Exclusive)
+	c.Insert(0x1000, Exclusive)
+	c.Access(0x0000, false) // refresh line 0
+	v := c.Insert(0x2000, Exclusive)
+	if !v.Valid || v.Addr != 0x1000 {
+		t.Fatalf("victim = %+v, want line 0x1000", v)
+	}
+	if !c.Contains(0x0000) || !c.Contains(0x2000) || c.Contains(0x1000) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestDirtyEviction(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Insert(0x0000, Modified)
+	c.Insert(0x1000, Exclusive)
+	v := c.Insert(0x2000, Exclusive) // evicts LRU = 0x0000 (M)
+	if !v.Valid || v.State != Modified {
+		t.Fatalf("victim = %+v, want Modified", v)
+	}
+	if c.Stats.DirtyEvictions != 1 {
+		t.Fatalf("DirtyEvictions = %d", c.Stats.DirtyEvictions)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(64<<10, 8, 64)
+	c.Insert(0x40, Modified)
+	if st := c.Invalidate(0x40); st != Modified {
+		t.Fatalf("Invalidate returned %v", st)
+	}
+	if c.Contains(0x40) {
+		t.Fatal("line still present after invalidate")
+	}
+	if st := c.Invalidate(0x40); st != Invalid {
+		t.Fatal("double invalidate should return Invalid")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Insert(0x0000, Exclusive)
+	c.Insert(0x1000, Exclusive)
+	if v := c.Insert(0x0000, Modified); v.Valid {
+		t.Fatal("re-inserting a present line must not evict")
+	}
+	if got := c.GetState(0x0000); got != Modified {
+		t.Fatal("re-insert should update state")
+	}
+}
+
+func TestNonPowerOfTwoWays(t *testing.T) {
+	// 12-way 24MB/8-bank style geometry (sets not a power of two).
+	c := New(3<<20, 12, 64)
+	if c.Sets != 3<<20/64/12 {
+		t.Fatalf("sets = %d", c.Sets)
+	}
+	for i := 0; i < 100; i++ {
+		c.Insert(uint64(i)*64*uint64(c.Sets), Exclusive) // same set
+	}
+	if c.Stats.Evictions != 100-12 {
+		t.Fatalf("evictions = %d, want %d", c.Stats.Evictions, 100-12)
+	}
+}
+
+func TestStats(t *testing.T) {
+	c := New(64<<10, 8, 64)
+	c.Access(0, false)
+	c.Access(64, true)
+	c.Insert(0, Exclusive)
+	c.Access(0, false)
+	s := &c.Stats
+	if s.Reads != 2 || s.Writes != 1 || s.ReadMisses != 1 || s.WriteMisses != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if got := s.MissRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("miss rate = %g", got)
+	}
+	if s.Accesses() != 3 || s.Misses() != 2 {
+		t.Fatal("aggregate counters wrong")
+	}
+}
+
+func TestMissRateEmptyCache(t *testing.T) {
+	c := New(1<<10, 2, 64)
+	if c.Stats.MissRate() != 0 {
+		t.Fatal("idle cache should report 0 miss rate")
+	}
+}
+
+func TestPanicsOnBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 8, 64) },
+		func() { New(1<<10, 0, 64) },
+		func() { New(100, 8, 64) }, // not divisible
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestPropertyCapacityBound(t *testing.T) {
+	// Property: after any insert sequence, the number of resident
+	// lines never exceeds capacity.
+	c := New(4<<10, 4, 64) // 64 lines
+	f := func(addrs []uint16) bool {
+		for _, a := range addrs {
+			c.Insert(uint64(a)*64, Exclusive)
+		}
+		resident := 0
+		for i := 0; i < 1<<16; i++ {
+			if c.Contains(uint64(i) * 64) {
+				resident++
+			}
+		}
+		return resident <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTouchKeepsLineHot(t *testing.T) {
+	c := New(2*64, 2, 64)
+	c.Insert(0x0000, Exclusive)
+	c.Insert(0x1000, Exclusive)
+	c.Touch(0x0000)
+	v := c.Insert(0x2000, Exclusive)
+	if v.Addr != 0x1000 {
+		t.Fatalf("Touch ignored by LRU; victim %x", v.Addr)
+	}
+}

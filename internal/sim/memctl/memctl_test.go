@@ -1,0 +1,231 @@
+package memctl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func cfg(policy PagePolicy) Config {
+	return Config{
+		Channels: 2, BanksPerChannel: 8, PageBytes: 8192, LineBytes: 64,
+		Policy: policy,
+		Timing: Timing{TRCD: 21, CAS: 14, TRP: 15, TRAS: 78, TRC: 99, TRRD: 5, Burst: 3},
+	}
+}
+
+func TestClosedPageLatency(t *testing.T) {
+	c := New(cfg(ClosedPage))
+	done := c.Access(0, false, 1000)
+	// Unloaded: tRCD + CAS + burst.
+	want := int64(1000 + 21 + 14 + 3)
+	if done != want {
+		t.Fatalf("done = %d, want %d", done, want)
+	}
+	if c.Stats.Activates != 1 || c.Stats.Reads != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestOpenPageRowHit(t *testing.T) {
+	c := New(cfg(OpenPage))
+	c.Access(0, false, 1000)
+	// Same page (within 8KB, same channel requires same line%2...):
+	// line 0 and line 2 are both channel 0, same page.
+	start := int64(5000)
+	done := c.Access(128, false, start)
+	if c.Stats.RowHits != 1 {
+		t.Fatalf("expected a row hit, stats = %+v", c.Stats)
+	}
+	if done != start+14+3 {
+		t.Fatalf("row hit latency = %d, want CAS+burst", done-start)
+	}
+}
+
+func TestOpenPageConflict(t *testing.T) {
+	c := New(cfg(OpenPage))
+	c.Access(0, false, 1000)
+	// Same channel and bank hash requires same page group; use an
+	// address far away mapping to the same bank: search one.
+	var conflictAddr uint64
+	probe := New(cfg(OpenPage))
+	ch0, b0, _ := probe.route(0)
+	for a := uint64(16384); ; a += 16384 {
+		ch, b, _ := probe.route(a)
+		if ch == ch0 && b == b0 {
+			conflictAddr = a
+			break
+		}
+	}
+	done := c.Access(conflictAddr, false, 5000)
+	if c.Stats.RowMisses != 1 {
+		t.Fatalf("expected a row conflict, stats = %+v", c.Stats)
+	}
+	if done-5000 < 15+21+14 {
+		t.Fatalf("conflict latency %d too small", done-5000)
+	}
+}
+
+func TestBankOccupancySerializes(t *testing.T) {
+	c := New(cfg(ClosedPage))
+	d1 := c.Access(0, false, 0)
+	d2 := c.Access(0, false, 0) // same line, same bank, same time
+	if d2 <= d1 {
+		t.Fatal("second access to a busy bank must wait")
+	}
+	// Closed page: bank recovers after tRC.
+	if d2 < 99 {
+		t.Fatalf("second access done at %d, want >= tRC", d2)
+	}
+}
+
+func TestChannelsIndependent(t *testing.T) {
+	c := New(cfg(ClosedPage))
+	d1 := c.Access(0, false, 0)  // channel 0
+	d2 := c.Access(64, false, 0) // channel 1 (line 1)
+	if d2 != d1 {
+		t.Fatalf("different channels should not interfere: %d vs %d", d1, d2)
+	}
+}
+
+func TestTRRDGatesSameChannelActivates(t *testing.T) {
+	c := New(cfg(ClosedPage))
+	// Two different banks, same channel: the second ACTIVATE waits
+	// tRRD.
+	probe := New(cfg(ClosedPage))
+	ch0, b0, _ := probe.route(0)
+	var other uint64
+	for a := uint64(8192); ; a += 8192 {
+		ch, b, _ := probe.route(a)
+		if ch == ch0 && b != b0 {
+			other = a
+			break
+		}
+	}
+	d1 := c.Access(0, false, 0)
+	d2 := c.Access(other, false, 0)
+	if d2 != d1+5 {
+		t.Fatalf("tRRD gating wrong: %d vs %d", d2, d1)
+	}
+}
+
+func TestBusSerializesData(t *testing.T) {
+	cf := cfg(ClosedPage)
+	cf.Timing.Burst = 10
+	c := New(cf)
+	probe := New(cf)
+	ch0, b0, _ := probe.route(0)
+	// Find a second address on the same channel, different bank.
+	var other uint64
+	for a := uint64(8192); ; a += 8192 {
+		ch, b, _ := probe.route(a)
+		if ch == ch0 && b != b0 {
+			other = a
+			break
+		}
+	}
+	d1 := c.Access(0, false, 0)
+	d2 := c.Access(other, false, 0)
+	// Second burst cannot overlap the first on the shared bus.
+	if d2 < d1+10 {
+		t.Fatalf("bus overlap: %d then %d", d1, d2)
+	}
+}
+
+func TestWritesCounted(t *testing.T) {
+	c := New(cfg(ClosedPage))
+	c.Access(0, true, 0)
+	if c.Stats.Writes != 1 || c.Stats.Reads != 0 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	if c.Stats.BusBytes != 64 {
+		t.Fatalf("bus bytes = %d", c.Stats.BusBytes)
+	}
+}
+
+func TestBankHashSpreads(t *testing.T) {
+	c := New(cfg(ClosedPage))
+	counts := make([]int, 8)
+	for i := 0; i < 8192; i++ {
+		_, b, _ := c.route(uint64(i) * 8192)
+		counts[b]++
+	}
+	for b, n := range counts {
+		if n < 512 || n > 1536 {
+			t.Fatalf("bank %d got %d of 8192 pages; hash not spreading", b, n)
+		}
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{})
+}
+
+func TestPolicyString(t *testing.T) {
+	if OpenPage.String() != "open-page" || ClosedPage.String() != "closed-page" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestPropertyMonotoneCompletion(t *testing.T) {
+	// Property: completion time never precedes issue time plus the
+	// unloaded minimum.
+	c := New(cfg(OpenPage))
+	now := int64(0)
+	f := func(step uint16, addr uint32, write bool) bool {
+		now += int64(step % 500)
+		done := c.Access(uint64(addr)*64, write, now)
+		return done >= now+14+3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerDown(t *testing.T) {
+	cf := cfg(ClosedPage)
+	cf.PowerDown = true
+	cf.PowerDownAfter = 100
+	cf.WakeupCycles = 12
+	c := New(cf)
+	d1 := c.Access(0, false, 0)
+	// Long idle gap: the rank powers down and the next access pays
+	// the wakeup latency.
+	d2 := c.Access(0, false, d1+10_000)
+	base := int64(21 + 14 + 3)
+	if got := d2 - (d1 + 10_000); got != base+12 {
+		t.Fatalf("post-idle latency %d, want %d (+wakeup)", got, base+12)
+	}
+	if c.Stats.Wakeups != 1 {
+		t.Fatalf("wakeups = %d", c.Stats.Wakeups)
+	}
+	if c.Stats.PowerDownCyc < 9_000 {
+		t.Fatalf("powered-down cycles = %d, want ~9900", c.Stats.PowerDownCyc)
+	}
+}
+
+func TestPowerDownDisabledByDefault(t *testing.T) {
+	c := New(cfg(ClosedPage))
+	d1 := c.Access(0, false, 0)
+	c.Access(0, false, d1+10_000)
+	if c.Stats.Wakeups != 0 || c.Stats.PowerDownCyc != 0 {
+		t.Fatal("power-down should be off by default")
+	}
+}
+
+func TestPowerDownShortIdleNoEntry(t *testing.T) {
+	cf := cfg(ClosedPage)
+	cf.PowerDown = true
+	cf.PowerDownAfter = 1000
+	cf.WakeupCycles = 12
+	c := New(cf)
+	d1 := c.Access(0, false, 0)
+	c.Access(0, false, d1+500) // below threshold
+	if c.Stats.Wakeups != 0 {
+		t.Fatal("short idle must not enter power-down")
+	}
+}

@@ -1,0 +1,127 @@
+// Package stats turns simulator event counts into the power and
+// energy-delay figures of the paper's Figures 5(a) and 5(b): dynamic
+// power from per-event CACTI-D energies, leakage and refresh from
+// standby powers, memory bus power at 2 mW/Gb/s, core power scaled
+// from the 90 nm Niagara, and the normalized system energy-delay
+// product.
+package stats
+
+import "cactid/internal/sim"
+
+// Energies carries the per-component CACTI-D projections the power
+// model consumes, in SI units.
+type Energies struct {
+	ClockHz float64
+
+	// Per-access dynamic energies (J).
+	EL1      float64 // one L1 (I or D) access
+	EL2      float64 // one L2 access
+	EXbar    float64 // one crossbar line transfer
+	EL3Tag   float64 // one L3 tag probe
+	EL3Read  float64 // one L3 data read
+	EL3Write float64 // one L3 data write
+
+	// Standby powers (W), whole structure across all instances.
+	L1Leak    float64 // all L1 I+D caches
+	L2Leak    float64 // all L2 caches
+	XbarLeak  float64
+	L3Leak    float64
+	L3Refresh float64
+
+	// Main memory: per-chip command energies and standby/refresh.
+	MemChips          int     // chips accessed in parallel per line (rank width)
+	MemTotalChips     int     // all chips in the system (for standby/refresh)
+	EMemActivate      float64 // per chip
+	EMemRead          float64
+	EMemWrite         float64
+	MemStandbyPerChip float64
+	MemRefreshPerChip float64
+
+	// Bus power coefficient: J per transferred bit (the paper uses
+	// 2 mW/Gb/s = 2 pJ/bit for the 2013 timeframe).
+	BusEnergyPerBit float64
+
+	// CorePower is the total power of the core die's 8 cores (the
+	// paper scales the 90 nm Niagara to 22.3 W at 32 nm).
+	CorePower float64
+
+	// MemChannels and PowerDownSaving support the paper's concluding
+	// suggestion of DRAM power-down modes: standby power is
+	// discounted by PowerDownSaving (e.g. 0.85) over the fraction of
+	// channel-cycles the controller reports as powered down.
+	MemChannels     int
+	PowerDownSaving float64
+}
+
+// Power is the Figure 5(a)/(b) breakdown, in watts.
+type Power struct {
+	L1Leak, L1Dyn     float64
+	L2Leak, L2Dyn     float64
+	XbarLeak, XbarDyn float64
+	L3Leak, L3Dyn     float64
+	L3Refresh         float64
+	MemStandby        float64
+	MemRefresh        float64
+	MemDyn            float64
+	Bus               float64
+	Core              float64
+}
+
+// MemoryHierarchy returns the total memory-hierarchy power (the
+// Figure 5(a) stack: everything but the cores).
+func (p *Power) MemoryHierarchy() float64 {
+	return p.L1Leak + p.L1Dyn + p.L2Leak + p.L2Dyn + p.XbarLeak + p.XbarDyn +
+		p.L3Leak + p.L3Dyn + p.L3Refresh + p.MemStandby + p.MemRefresh + p.MemDyn + p.Bus
+}
+
+// System returns total system power (Figure 5(b) stack).
+func (p *Power) System() float64 { return p.MemoryHierarchy() + p.Core }
+
+// Compute evaluates the power breakdown for one simulation result.
+func Compute(r *sim.Result, e Energies) Power {
+	seconds := float64(r.Cycles) / e.ClockHz
+	if seconds <= 0 {
+		return Power{}
+	}
+	ev := &r.Events
+
+	dyn := func(count uint64, energy float64) float64 {
+		return float64(count) * energy / seconds
+	}
+
+	var p Power
+	p.L1Leak = e.L1Leak
+	p.L1Dyn = dyn(ev.L1IAccesses+ev.L1DReads+ev.L1DWrites, e.EL1)
+	p.L2Leak = e.L2Leak
+	p.L2Dyn = dyn(ev.L2Accesses+ev.L2Writebacks, e.EL2)
+	p.XbarLeak = e.XbarLeak
+	p.XbarDyn = dyn(ev.Xbar, e.EXbar)
+	p.L3Leak = e.L3Leak
+	p.L3Refresh = e.L3Refresh
+	p.L3Dyn = dyn(ev.L3Tag, e.EL3Tag) + dyn(ev.L3DataRead, e.EL3Read) + dyn(ev.L3DataWrite, e.EL3Write)
+
+	chips := float64(e.MemChips)
+	p.MemDyn = dyn(ev.Mem.Activates, e.EMemActivate*chips) +
+		dyn(ev.Mem.Reads, e.EMemRead*chips) +
+		dyn(ev.Mem.Writes, e.EMemWrite*chips)
+	p.MemStandby = float64(e.MemTotalChips) * e.MemStandbyPerChip
+	if e.MemChannels > 0 && e.PowerDownSaving > 0 {
+		pdFrac := float64(ev.Mem.PowerDownCyc) / (float64(e.MemChannels) * float64(r.Cycles))
+		if pdFrac > 1 {
+			pdFrac = 1
+		}
+		p.MemStandby *= 1 - pdFrac*e.PowerDownSaving
+	}
+	p.MemRefresh = float64(e.MemTotalChips) * e.MemRefreshPerChip
+	p.Bus = float64(ev.Mem.BusBytes*8) * e.BusEnergyPerBit / seconds
+	p.Core = e.CorePower
+	return p
+}
+
+// EDP returns the energy-delay product of a run: system power x
+// time^2 (J*s). Comparisons are made as ratios against a baseline
+// configuration, as in Figure 5(b).
+func EDP(p *Power, cycles int64, clockHz float64) float64 {
+	t := float64(cycles) / clockHz
+	return p.System() * t * t
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"cactid/internal/sim"
+	"cactid/internal/sim/memctl"
+)
+
+func sampleEnergies() Energies {
+	return Energies{
+		ClockHz: 2e9,
+		EL1:     0.07e-9, EL2: 0.27e-9, EXbar: 0.1e-9,
+		EL3Tag: 0.05e-9, EL3Read: 0.5e-9, EL3Write: 0.6e-9,
+		L1Leak: 0.15, L2Leak: 1.25, XbarLeak: 0.05,
+		L3Leak: 3.6, L3Refresh: 0.0,
+		MemChips: 8, MemTotalChips: 16,
+		EMemActivate: 0.78e-9, EMemRead: 0.63e-9, EMemWrite: 0.7e-9,
+		MemStandbyPerChip: 0.091 / 16, MemRefreshPerChip: 0.009 / 16,
+		BusEnergyPerBit: 2e-12,
+		CorePower:       22.3,
+	}
+}
+
+func sampleResult(cycles int64) *sim.Result {
+	return &sim.Result{
+		Cycles: cycles,
+		Events: sim.Events{
+			L1IAccesses: 1e8, L1DReads: 5e7, L1DWrites: 2e7,
+			L2Accesses: 1e7, L2Writebacks: 2e6,
+			Xbar: 5e6, L3Tag: 5e6, L3DataRead: 3e6, L3DataWrite: 2e6,
+			Mem: memctl.Stats{
+				Reads: 1e6, Writes: 5e5, Activates: 1.4e6,
+				BusBytes: 96e6,
+			},
+		},
+	}
+}
+
+func TestComputeBasic(t *testing.T) {
+	p := Compute(sampleResult(2e9), sampleEnergies()) // 1 second of runtime
+	if p.MemoryHierarchy() <= 0 || p.System() <= p.MemoryHierarchy() {
+		t.Fatal("power totals wrong")
+	}
+	// 1.7e8 L1 accesses x 0.07nJ over 1s = 11.9mW.
+	if want := 1.7e8 * 0.07e-9; math.Abs(p.L1Dyn-want)/want > 1e-9 {
+		t.Errorf("L1Dyn = %g, want %g", p.L1Dyn, want)
+	}
+	// Leakage passes through.
+	if p.L3Leak != 3.6 || p.L1Leak != 0.15 {
+		t.Error("leakage passthrough wrong")
+	}
+	// Memory dynamic: per-op energy x 8 chips.
+	wantMem := (1.4e6*0.78e-9 + 1e6*0.63e-9 + 5e5*0.7e-9) * 8
+	if math.Abs(p.MemDyn-wantMem)/wantMem > 1e-9 {
+		t.Errorf("MemDyn = %g, want %g", p.MemDyn, wantMem)
+	}
+	// Bus: 96MB x 8 bits x 2pJ over 1s.
+	wantBus := 96e6 * 8 * 2e-12
+	if math.Abs(p.Bus-wantBus)/wantBus > 1e-9 {
+		t.Errorf("Bus = %g, want %g", p.Bus, wantBus)
+	}
+	if p.Core != 22.3 {
+		t.Error("core power passthrough wrong")
+	}
+}
+
+func TestDynamicPowerScalesWithTime(t *testing.T) {
+	e := sampleEnergies()
+	fast := Compute(sampleResult(1e9), e) // same events in half the time
+	slow := Compute(sampleResult(2e9), e)
+	if fast.L1Dyn <= slow.L1Dyn || fast.MemDyn <= slow.MemDyn {
+		t.Error("same events in less time must mean more dynamic power")
+	}
+	if fast.L1Leak != slow.L1Leak {
+		t.Error("leakage must not depend on runtime")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	e := sampleEnergies()
+	p := Compute(sampleResult(2e9), e)
+	edp1 := EDP(&p, 2e9, 2e9)
+	edp2 := EDP(&p, 4e9, 2e9)
+	if edp2 <= edp1*3.9 || edp2 >= edp1*4.1 {
+		t.Errorf("EDP should scale with t^2 at fixed power: %g vs %g", edp1, edp2)
+	}
+}
+
+func TestZeroCycles(t *testing.T) {
+	p := Compute(&sim.Result{}, sampleEnergies())
+	if p.System() != 0 {
+		t.Error("zero-cycle run should produce zero power")
+	}
+}
+
+func TestPowerDownDiscount(t *testing.T) {
+	e := sampleEnergies()
+	e.MemChannels = 2
+	e.PowerDownSaving = 0.85
+	r := sampleResult(2e9)
+	// Half of all channel-cycles powered down.
+	r.Events.Mem.PowerDownCyc = 2e9 // of 2 channels x 2e9 cycles
+	p := Compute(r, e)
+	base := float64(e.MemTotalChips) * e.MemStandbyPerChip
+	want := base * (1 - 0.5*0.85)
+	if math.Abs(p.MemStandby-want)/want > 1e-9 {
+		t.Errorf("discounted standby = %g, want %g", p.MemStandby, want)
+	}
+	// Overshoot clamps at full power-down.
+	r.Events.Mem.PowerDownCyc = 1e12
+	p = Compute(r, e)
+	if p.MemStandby < base*(1-0.85)-1e-12 {
+		t.Errorf("standby %g fell below the residual floor", p.MemStandby)
+	}
+}

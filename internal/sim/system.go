@@ -1,0 +1,852 @@
+// Package sim is the architectural simulator of the LLC study
+// (Section 3): a multicore multithreaded processor in the style of
+// Niagara — 8 cores x 4 threads, in-order, one FP instruction per
+// cycle per thread and other instructions every 4 cycles, at most one
+// memory request per cycle per core — over a three-level cache
+// hierarchy with MESI coherence, a banked shared L3 reached through a
+// crossbar, and a DDR main-memory subsystem. It is a discrete-event
+// simulator: threads are events ordered by their local time, and
+// shared resources (L3 banks, memory banks and buses, locks) are
+// modeled by busy-until times.
+package sim
+
+import (
+	"cactid/internal/sim/cache"
+	"cactid/internal/sim/memctl"
+	"cactid/internal/sim/workload"
+)
+
+// L3Params configures the shared last-level cache; nil means no L3.
+type L3Params struct {
+	CapacityBytes int64
+	Ways          int
+	Banks         int
+
+	TagCycles      int64 // tag array access (sequential mode reads tags first)
+	DataCycles     int64 // data array access
+	BankBusyCycles int64 // multisubbank interleave cycle (bank occupancy per access)
+	CrossbarCycles int64 // one L2<->L3 crossbar traversal
+
+	// PageBits, when positive (DRAM L3s), enables the Section 3.4
+	// page-locality analysis: the simulator tracks the DRAM page hit
+	// ratio the L3's access stream would see under both cache-set
+	// mappings of Figure 3 (sets mapped to pages, and sets striped
+	// across pages). The study uses this to justify the SRAM-like
+	// interface.
+	PageBits int64
+}
+
+// Config describes the simulated system.
+type Config struct {
+	Cores          int
+	ThreadsPerCore int
+
+	LineBytes int
+	L1Bytes   int64
+	L1Ways    int
+	L2Bytes   int64
+	L2Ways    int
+
+	L1HitCycles int64
+	L2HitCycles int64
+
+	L3  *L3Params
+	Mem memctl.Config
+
+	Workload    workload.Profile
+	InstrBudget int64   // total across all threads
+	WarmupFrac  float64 // fraction of the budget excluded from stats
+	Seed        uint64
+
+	// Sources, when non-nil, overrides the synthetic workload with
+	// one reference stream per thread (trace-driven simulation). Its
+	// length must equal Cores*ThreadsPerCore.
+	Sources []workload.Source
+}
+
+// Breakdown attributes thread cycles to the paper's Figure 4(b)
+// categories.
+type Breakdown struct {
+	Busy    int64 // processing instructions
+	L2      int64 // stalled on L2 (incl. remote-L2 transfers)
+	L3      int64 // stalled on L3
+	Mem     int64 // stalled on main memory
+	Barrier int64
+	Lock    int64
+}
+
+// Total returns the sum of all categories.
+func (b *Breakdown) Total() int64 {
+	return b.Busy + b.L2 + b.L3 + b.Mem + b.Barrier + b.Lock
+}
+
+func (b *Breakdown) add(o Breakdown) {
+	b.Busy += o.Busy
+	b.L2 += o.L2
+	b.L3 += o.L3
+	b.Mem += o.Mem
+	b.Barrier += o.Barrier
+	b.Lock += o.Lock
+}
+
+func (b *Breakdown) sub(o Breakdown) {
+	b.Busy -= o.Busy
+	b.L2 -= o.L2
+	b.L3 -= o.L3
+	b.Mem -= o.Mem
+	b.Barrier -= o.Barrier
+	b.Lock -= o.Lock
+}
+
+// Events counts the activity the power model consumes.
+type Events struct {
+	Instrs        int64
+	L1IAccesses   uint64
+	L1DReads      uint64
+	L1DWrites     uint64
+	L1DMisses     uint64
+	L2Accesses    uint64
+	L2Misses      uint64
+	L2Writebacks  uint64
+	Xbar          uint64 // crossbar line transfers
+	L3Tag         uint64
+	L3DataRead    uint64
+	L3DataWrite   uint64
+	L3Misses      uint64
+	RemoteFetches uint64
+	Upgrades      uint64
+
+	// Section 3.4 page-locality analysis (DRAM L3s only): hits of
+	// the would-be open page per bank under the two mappings of
+	// Figure 3.
+	L3PageProbes        uint64
+	L3PageHitsSetMapped uint64
+	L3PageHitsStriped   uint64
+
+	Mem memctl.Stats
+}
+
+// Result is the outcome of one simulation run (post-warmup).
+type Result struct {
+	Cycles int64
+	Instrs int64
+	IPC    float64
+
+	// AvgReadLatency is the mean load latency in cycles.
+	AvgReadLatency float64
+
+	Breakdown Breakdown
+	Events    Events
+
+	L1MissRate, L2MissRate, L3MissRate float64
+}
+
+const (
+	lockHoldCycles    = 180
+	barrierCostCycles = 60
+)
+
+type thread struct {
+	gen  workload.Source
+	core int
+	time int64
+	bd   Breakdown
+
+	pending    workload.Ref
+	hasPending bool
+	blocked    bool // waiting at barrier
+	arriveTime int64
+	done       bool
+
+	instrLimit int64
+
+	reads       uint64
+	readLatency uint64
+}
+
+// engine holds all mutable simulation state.
+type engine struct {
+	cfg Config
+
+	threads []*thread
+	l1d     []*cache.Cache
+	l2      []*cache.Cache
+	l3      []*cache.Cache // per bank; nil if no L3
+	mem     *memctl.Controller
+
+	// directory tracks which cores' L2s hold each line: low 16 bits
+	// sharer mask, bit 31 set when exactly one core holds it
+	// Modified.
+	directory map[uint64]uint32
+
+	portFree   []int64 // per core: 1 memory request per cycle
+	l3BankFree []int64
+
+	// Per-bank last-open-page trackers for the Section 3.4 analysis.
+	l3LastPageSet     []int64
+	l3LastPageStriped []int64
+
+	// barrier state
+	arrived  int
+	lockFree int64
+
+	ev Events
+}
+
+// Run executes the configured simulation and returns post-warmup
+// results.
+func Run(cfg Config) *Result {
+	if cfg.Cores <= 0 || cfg.ThreadsPerCore <= 0 || cfg.InstrBudget <= 0 {
+		panic("sim: bad config")
+	}
+	if cfg.LineBytes == 0 {
+		cfg.LineBytes = 64
+	}
+	e := &engine{cfg: cfg, directory: make(map[uint64]uint32, 1<<18)}
+	n := cfg.Cores * cfg.ThreadsPerCore
+	if cfg.Sources != nil && len(cfg.Sources) != n {
+		panic("sim: Sources length must equal Cores*ThreadsPerCore")
+	}
+	perThread := cfg.InstrBudget / int64(n)
+	for i := 0; i < n; i++ {
+		var src workload.Source
+		if cfg.Sources != nil {
+			src = cfg.Sources[i]
+		} else {
+			src = workload.NewGenerator(cfg.Workload, i, n, cfg.Seed+0x5EED)
+		}
+		e.threads = append(e.threads, &thread{
+			gen:        src,
+			core:       i / cfg.ThreadsPerCore,
+			instrLimit: perThread,
+		})
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		e.l1d = append(e.l1d, cache.New(cfg.L1Bytes, cfg.L1Ways, cfg.LineBytes))
+		e.l2 = append(e.l2, cache.New(cfg.L2Bytes, cfg.L2Ways, cfg.LineBytes))
+	}
+	if cfg.L3 != nil {
+		for b := 0; b < cfg.L3.Banks; b++ {
+			e.l3 = append(e.l3, cache.New(cfg.L3.CapacityBytes/int64(cfg.L3.Banks), cfg.L3.Ways, cfg.LineBytes))
+		}
+		e.l3BankFree = make([]int64, cfg.L3.Banks)
+		e.l3LastPageSet = make([]int64, cfg.L3.Banks)
+		e.l3LastPageStriped = make([]int64, cfg.L3.Banks)
+		for b := range e.l3LastPageSet {
+			e.l3LastPageSet[b] = -1
+			e.l3LastPageStriped[b] = -1
+		}
+	}
+	e.portFree = make([]int64, cfg.Cores)
+	e.mem = memctl.New(cfg.Mem)
+
+	warmInstr := int64(float64(cfg.InstrBudget) * cfg.WarmupFrac)
+	var warmEv Events
+	var warmBD Breakdown
+	var warmReads, warmReadLat uint64
+	warmTime := int64(0)
+	warmed := warmInstr <= 0
+
+	totalInstr := func() int64 {
+		var s int64
+		for _, t := range e.threads {
+			s += t.gen.Instructions()
+		}
+		return s
+	}
+
+	steps := 0
+	for {
+		t := e.nextThread()
+		if t == nil {
+			break
+		}
+		e.step(t)
+		steps++
+
+		if !warmed && steps%256 == 0 && totalInstr() >= warmInstr {
+			warmed = true
+			warmEv = e.ev
+			warmEv.Mem = e.mem.Stats
+			for _, th := range e.threads {
+				warmBD.add(th.bd)
+				warmReads += th.reads
+				warmReadLat += th.readLatency
+				if th.time > warmTime {
+					warmTime = th.time
+				}
+			}
+			warmEv.Instrs = totalInstr()
+		}
+	}
+
+	r := &Result{}
+	var endTime int64
+	for _, th := range e.threads {
+		r.Breakdown.add(th.bd)
+		if th.time > endTime {
+			endTime = th.time
+		}
+	}
+	r.Breakdown.sub(warmBD)
+	r.Cycles = endTime - warmTime
+	e.ev.Mem = e.mem.Stats
+	e.ev.Instrs = totalInstr()
+	r.Events = subEvents(e.ev, warmEv)
+	r.Instrs = r.Events.Instrs
+	if r.Cycles > 0 {
+		r.IPC = float64(r.Instrs) / float64(r.Cycles)
+	}
+	var reads, lat uint64
+	for _, th := range e.threads {
+		reads += th.reads
+		lat += th.readLatency
+	}
+	reads -= warmReads
+	lat -= warmReadLat
+	if reads > 0 {
+		r.AvgReadLatency = float64(lat) / float64(reads)
+	}
+	if a := r.Events.L1DReads + r.Events.L1DWrites; a > 0 {
+		r.L1MissRate = float64(r.Events.L1DMisses) / float64(a)
+	}
+	if r.Events.L2Accesses > 0 {
+		r.L2MissRate = float64(r.Events.L2Misses) / float64(r.Events.L2Accesses)
+	}
+	if r.Events.L3Tag > 0 {
+		r.L3MissRate = float64(r.Events.L3Misses) / float64(r.Events.L3Tag)
+	}
+	return r
+}
+
+func subEvents(a, b Events) Events {
+	a.Instrs -= b.Instrs
+	a.L1IAccesses -= b.L1IAccesses
+	a.L1DReads -= b.L1DReads
+	a.L1DWrites -= b.L1DWrites
+	a.L1DMisses -= b.L1DMisses
+	a.L2Accesses -= b.L2Accesses
+	a.L2Misses -= b.L2Misses
+	a.L2Writebacks -= b.L2Writebacks
+	a.Xbar -= b.Xbar
+	a.L3Tag -= b.L3Tag
+	a.L3DataRead -= b.L3DataRead
+	a.L3DataWrite -= b.L3DataWrite
+	a.L3Misses -= b.L3Misses
+	a.RemoteFetches -= b.RemoteFetches
+	a.Upgrades -= b.Upgrades
+	a.L3PageProbes -= b.L3PageProbes
+	a.L3PageHitsSetMapped -= b.L3PageHitsSetMapped
+	a.L3PageHitsStriped -= b.L3PageHitsStriped
+	a.Mem.Reads -= b.Mem.Reads
+	a.Mem.Writes -= b.Mem.Writes
+	a.Mem.Activates -= b.Mem.Activates
+	a.Mem.RowHits -= b.Mem.RowHits
+	a.Mem.RowMisses -= b.Mem.RowMisses
+	a.Mem.BusBytes -= b.Mem.BusBytes
+	a.Mem.TotalReadLatencyCyc -= b.Mem.TotalReadLatencyCyc
+	a.Mem.QueueWaitCyc -= b.Mem.QueueWaitCyc
+	return a
+}
+
+// nextThread picks the runnable thread with the smallest local time.
+// When every unfinished thread is blocked at the barrier, it releases
+// the barrier.
+func (e *engine) nextThread() *thread {
+	var best *thread
+	active := 0
+	blocked := 0
+	for _, t := range e.threads {
+		if t.done {
+			continue
+		}
+		active++
+		if t.blocked {
+			blocked++
+			continue
+		}
+		if best == nil || t.time < best.time {
+			best = t
+		}
+	}
+	if active == 0 {
+		return nil
+	}
+	if best == nil || blocked == active {
+		// Every unfinished thread is waiting: release the barrier
+		// (finished threads do not participate).
+		e.releaseBarrier()
+		return e.nextThread()
+	}
+	return best
+}
+
+// releaseBarrier unblocks all waiting threads at the latest arrival
+// time plus the barrier cost, charging each thread its wait.
+func (e *engine) releaseBarrier() {
+	var maxT int64
+	for _, t := range e.threads {
+		if t.blocked && t.arriveTime > maxT {
+			maxT = t.arriveTime
+		}
+	}
+	release := maxT + barrierCostCycles
+	for _, t := range e.threads {
+		if t.blocked {
+			t.bd.Barrier += release - t.arriveTime
+			t.time = release
+			t.blocked = false
+		}
+	}
+	e.arrived = 0
+}
+
+// step advances one thread by one memory reference.
+func (e *engine) step(t *thread) {
+	if !t.hasPending {
+		if t.gen.Instructions() >= t.instrLimit {
+			t.done = true
+			return
+		}
+		t.pending = t.gen.Next()
+		t.hasPending = true
+
+		if t.pending.Barrier {
+			t.blocked = true
+			t.arriveTime = t.time
+			e.arrived++
+			if e.arrived >= e.activeCount() {
+				e.releaseBarrier()
+			}
+			return
+		}
+	}
+	r := t.pending
+	t.hasPending = false
+
+	if r.Lock {
+		start := t.time
+		if e.lockFree > start {
+			t.bd.Lock += e.lockFree - start
+			start = e.lockFree
+		}
+		e.lockFree = start + lockHoldCycles
+		t.bd.Busy += lockHoldCycles
+		t.time = start + lockHoldCycles
+	}
+
+	// Non-memory instructions.
+	gap := int64(r.FPGap) + 4*int64(r.OtherGap)
+	t.bd.Busy += gap
+	t.time += gap
+	e.ev.L1IAccesses += uint64(r.FPGap+r.OtherGap+1+3) / 4
+
+	// Memory reference: one request per cycle per core.
+	issue := t.time
+	if pf := e.portFree[t.core]; pf > issue {
+		issue = pf
+	}
+	e.portFree[t.core] = issue + 1
+
+	done := e.access(t, issue, r.Addr, r.Write)
+	if !r.Write {
+		t.reads++
+		t.readLatency += uint64(done - issue)
+	}
+	t.time = done
+}
+
+func (e *engine) activeCount() int {
+	n := 0
+	for _, t := range e.threads {
+		if !t.done {
+			n++
+		}
+	}
+	return n
+}
+
+// lineAddr masks a byte address to its line.
+func (e *engine) lineAddr(addr uint64) uint64 {
+	return addr &^ uint64(e.cfg.LineBytes-1)
+}
+
+// access walks the hierarchy for one reference and returns the
+// completion time. Stall cycles are attributed to t's breakdown by
+// the level that serviced the request.
+func (e *engine) access(t *thread, now int64, addr uint64, write bool) int64 {
+	line := e.lineAddr(addr)
+	core := t.core
+	cfg := &e.cfg
+
+	// ---- L1 ----
+	if write {
+		e.ev.L1DWrites++
+	} else {
+		e.ev.L1DReads++
+	}
+	if e.l1d[core].Access(line, write) {
+		if write && e.l1d[core].GetState(line) == cache.Modified {
+			// Write hit: if the line was Shared in L2 we need an
+			// upgrade (invalidate other sharers).
+			if e.l2[core].GetState(line) == cache.Shared {
+				return e.upgrade(t, now+cfg.L1HitCycles, line)
+			}
+			e.l2[core].SetState(line, cache.Modified)
+		}
+		t.bd.Busy += cfg.L1HitCycles
+		return now + cfg.L1HitCycles
+	}
+	e.ev.L1DMisses++
+
+	// ---- L2 ----
+	e.ev.L2Accesses++
+	if e.l2[core].Access(line, write) {
+		if write {
+			st := e.l2[core].GetState(line)
+			if st == cache.Modified { // Access already upgraded local state
+				// If other cores share it, invalidate them.
+				if e.sharersOtherThan(line, core) != 0 {
+					return e.fillL1AfterUpgrade(t, now, line)
+				}
+			}
+		}
+		lat := cfg.L2HitCycles
+		t.bd.L2 += lat
+		e.fillL1(t, line, write)
+		return now + lat
+	}
+	e.ev.L2Misses++
+
+	// ---- Coherence: another core's L2 may own the line Modified ----
+	if owner, isMod := e.modifiedOwner(line, core); isMod {
+		lat := 2*e.xbarCycles() + cfg.L2HitCycles + e.tagCycles()
+		e.ev.RemoteFetches++
+		e.ev.Xbar += 2
+		// Owner downgrades to Shared (writes back to L3/memory).
+		e.l2[owner].SetState(line, cache.Shared)
+		e.l1d[owner].SetState(line, cache.Shared)
+		e.setDirty(line, false)
+		if e.l3 != nil {
+			e.ev.L3DataWrite++
+			bank := e.l3Bank(line)
+			e.l3[bank].Access(e.l3Local(line), true)
+		} else {
+			e.mem.Access(line, true, now)
+		}
+		if write {
+			e.invalidateSharers(line, core)
+		}
+		t.bd.L2 += lat
+		e.fillL2(t, now, line, write)
+		e.fillL1(t, line, write)
+		return now + lat
+	}
+
+	// ---- L3 ----
+	if e.l3 != nil {
+		return e.accessL3(t, now, line, write)
+	}
+
+	// ---- No L3: straight to memory ----
+	done := e.mem.Access(line, write, now)
+	t.bd.Mem += done - now
+	e.fillL2(t, now, line, write)
+	e.fillL1(t, line, write)
+	return done
+}
+
+func (e *engine) xbarCycles() int64 {
+	if e.cfg.L3 != nil {
+		return e.cfg.L3.CrossbarCycles
+	}
+	return 2
+}
+
+func (e *engine) tagCycles() int64 {
+	if e.cfg.L3 != nil {
+		return e.cfg.L3.TagCycles
+	}
+	return 0
+}
+
+func (e *engine) l3Bank(line uint64) int {
+	return int((line / uint64(e.cfg.LineBytes)) % uint64(len(e.l3)))
+}
+
+// l3Local strips the bank-select bits from a line address so that a
+// bank's sets are indexed by the bank-local line number (without this
+// every line of a bank would alias into 1/Banks of its sets).
+func (e *engine) l3Local(line uint64) uint64 {
+	lb := uint64(e.cfg.LineBytes)
+	return line / lb / uint64(len(e.l3)) * lb
+}
+
+// l3Global undoes l3Local given the bank.
+func (e *engine) l3Global(local uint64, bank int) uint64 {
+	lb := uint64(e.cfg.LineBytes)
+	return (local/lb*uint64(len(e.l3)) + uint64(bank)) * lb
+}
+
+// accessL3 handles the L3 lookup and, on miss, main memory.
+func (e *engine) accessL3(t *thread, now int64, line uint64, write bool) int64 {
+	cfg := e.cfg.L3
+	bank := e.l3Bank(line)
+
+	// Crossbar to the L3 bank, then the tag lookup (TagCycles is 0
+	// for normal-mode caches whose DataCycles already covers the
+	// overlapped tag+data access).
+	at := now + cfg.CrossbarCycles
+	if bf := e.l3BankFree[bank]; bf > at {
+		at = bf
+	}
+	e.ev.Xbar++
+	e.ev.L3Tag++
+	e.l3BankFree[bank] = at + cfg.BankBusyCycles
+
+	local := e.l3Local(line)
+	e.trackL3Page(bank, local)
+	if e.l3[bank].Access(local, false) {
+		// L3 hit: sequential data access, crossbar back.
+		e.ev.L3DataRead++
+		done := at + cfg.TagCycles + cfg.DataCycles + cfg.CrossbarCycles
+		e.ev.Xbar++
+		t.bd.L3 += done - now
+		e.fillL2(t, now, line, write)
+		e.fillL1(t, line, write)
+		if write {
+			e.l3[bank].SetState(local, cache.Modified)
+		}
+		return done
+	}
+	e.ev.L3Misses++
+
+	// L3 miss: memory access begins after the tag lookup.
+	memStart := at + cfg.TagCycles
+	done := e.mem.Access(line, write, memStart)
+	// Fill L3 (data write), possibly evicting.
+	e.ev.L3DataWrite++
+	st := cache.Exclusive
+	if write {
+		st = cache.Modified
+	}
+	victim := e.l3[bank].Insert(local, st)
+	if victim.Valid && victim.State == cache.Modified {
+		// Non-inclusive LLC: evicted dirty lines go to memory; clean
+		// victims are dropped (core caches keep their copies,
+		// coherence is tracked by the directory independently). The
+		// writeback is issued at the request time, never in the
+		// future, so it cannot inflate resource clocks seen by
+		// presently-issued reads.
+		e.mem.Access(e.l3Global(victim.Addr, bank), true, memStart)
+	}
+	// Data return over the crossbar.
+	done += cfg.CrossbarCycles
+	e.ev.Xbar++
+	t.bd.Mem += done - now
+	e.fillL2(t, now, line, write)
+	e.fillL1(t, line, write)
+	return done
+}
+
+// trackL3Page implements the Section 3.4 page-locality analysis: for
+// a DRAM L3, compute which internal DRAM page this access would open
+// under the two cache-set mappings of Figure 3 and record whether it
+// matches the bank's previously open page.
+func (e *engine) trackL3Page(bank int, local uint64) {
+	cfg := e.cfg.L3
+	if cfg.PageBits <= 0 {
+		return
+	}
+	e.ev.L3PageProbes++
+	lineBits := int64(e.cfg.LineBytes) * 8
+	linesPerPage := cfg.PageBits / lineBits
+	if linesPerPage < 1 {
+		linesPerPage = 1
+	}
+	bankLines := cfg.CapacityBytes / int64(cfg.Banks) / int64(e.cfg.LineBytes)
+	sets := bankLines / int64(cfg.Ways)
+	lineIdx := int64(local) / int64(e.cfg.LineBytes)
+	set := lineIdx % sets
+	way := e.l3[bank].WayOf(local)
+	if way < 0 {
+		way = 0 // miss: the fill way; approximate with 0
+	}
+
+	// Mapping (a): a cache set maps to a page — consecutive sets'
+	// full way-groups fill consecutive pages.
+	setsPerPage := linesPerPage / int64(cfg.Ways)
+	if setsPerPage < 1 {
+		setsPerPage = 1
+	}
+	pageA := set / setsPerPage
+	if e.l3LastPageSet[bank] == pageA {
+		e.ev.L3PageHitsSetMapped++
+	}
+	e.l3LastPageSet[bank] = pageA
+
+	// Mapping (b): sets striped across pages — a page holds the same
+	// way of linesPerPage sequential sets.
+	pageB := int64(way)*((sets+linesPerPage-1)/linesPerPage) + set/linesPerPage
+	if e.l3LastPageStriped[bank] == pageB {
+		e.ev.L3PageHitsStriped++
+	}
+	e.l3LastPageStriped[bank] = pageB
+}
+
+// fillL1 inserts the line into the requesting core's L1.
+func (e *engine) fillL1(t *thread, line uint64, write bool) {
+	st := cache.Shared
+	if write {
+		st = cache.Modified
+	}
+	e.l1d[t.core].Insert(line, st)
+	// L1 victims are clean or their dirtiness is absorbed by the
+	// inclusive L2 (write-through of dirty L1 victims into L2 is
+	// modeled as free: the L2 line is already allocated).
+}
+
+// fillL2 inserts the line into the requesting core's L2, handling the
+// victim writeback and directory maintenance.
+func (e *engine) fillL2(t *thread, now int64, line uint64, write bool) {
+	st := cache.Exclusive
+	if write {
+		st = cache.Modified
+	}
+	if e.sharersOtherThan(line, t.core) != 0 {
+		st = cache.Shared
+		if write {
+			st = cache.Modified
+			e.invalidateSharers(line, t.core)
+		}
+	}
+	victim := e.l2[t.core].Insert(line, st)
+	e.addSharer(line, t.core, st == cache.Modified)
+	if victim.Valid {
+		e.removeSharer(victim.Addr, t.core)
+		e.l1d[t.core].Invalidate(victim.Addr) // inclusion
+		if victim.State == cache.Modified {
+			e.ev.L2Writebacks++
+			if e.l3 != nil {
+				// Write back into the L3 (allocating on writeback,
+				// like a victim path), evicting if needed.
+				bank := e.l3Bank(victim.Addr)
+				local := e.l3Local(victim.Addr)
+				e.ev.L3DataWrite++
+				e.ev.Xbar++
+				if !e.l3[bank].Access(local, true) {
+					v := e.l3[bank].Insert(local, cache.Modified)
+					if v.Valid && v.State == cache.Modified {
+						e.mem.Access(e.l3Global(v.Addr, bank), true, now)
+					}
+				}
+			} else {
+				e.mem.Access(victim.Addr, true, now)
+			}
+		}
+	}
+}
+
+// upgrade invalidates other sharers on a write to a Shared line.
+func (e *engine) upgrade(t *thread, now int64, line uint64) int64 {
+	e.ev.Upgrades++
+	e.ev.Xbar++
+	lat := 2 * e.xbarCycles()
+	e.invalidateSharers(line, t.core)
+	e.l2[t.core].SetState(line, cache.Modified)
+	e.setDirty(line, true)
+	e.setDirtyOwner(line, t.core)
+	t.bd.L2 += lat
+	return now + lat
+}
+
+func (e *engine) fillL1AfterUpgrade(t *thread, now int64, line uint64) int64 {
+	done := e.upgrade(t, now+e.cfg.L2HitCycles, line)
+	t.bd.L2 += e.cfg.L2HitCycles
+	e.fillL1(t, line, true)
+	return done
+}
+
+// ---- directory helpers ----
+
+const dirtyBit = uint32(1) << 31
+
+func (e *engine) addSharer(line uint64, core int, dirty bool) {
+	v := e.directory[line]
+	v |= 1 << uint(core)
+	if dirty {
+		v |= dirtyBit
+		v = (v &^ (0xff << 16)) | uint32(core)<<16
+	}
+	e.directory[line] = v
+}
+
+func (e *engine) removeSharer(line uint64, core int) {
+	v := e.directory[line]
+	v &^= 1 << uint(core)
+	if v&0xffff == 0 {
+		delete(e.directory, line)
+		return
+	}
+	e.directory[line] = v
+}
+
+func (e *engine) sharersOtherThan(line uint64, core int) uint32 {
+	return e.directory[line] & 0xffff &^ (1 << uint(core))
+}
+
+func (e *engine) modifiedOwner(line uint64, requester int) (int, bool) {
+	v := e.directory[line]
+	if v&dirtyBit == 0 {
+		return 0, false
+	}
+	owner := int(v >> 16 & 0xff)
+	if owner == requester {
+		return 0, false
+	}
+	if v&(1<<uint(owner)) == 0 {
+		return 0, false
+	}
+	return owner, true
+}
+
+func (e *engine) setDirty(line uint64, dirty bool) {
+	v, ok := e.directory[line]
+	if !ok {
+		return
+	}
+	if dirty {
+		v |= dirtyBit
+	} else {
+		v &^= dirtyBit
+	}
+	e.directory[line] = v
+}
+
+func (e *engine) setDirtyOwner(line uint64, core int) {
+	v, ok := e.directory[line]
+	if !ok {
+		return
+	}
+	v = (v &^ (0xff << 16)) | uint32(core)<<16
+	e.directory[line] = v
+}
+
+// invalidateSharers removes the line from all other cores' caches.
+func (e *engine) invalidateSharers(line uint64, except int) {
+	mask := e.sharersOtherThan(line, except)
+	for c := 0; mask != 0; c++ {
+		if mask&1 != 0 {
+			if e.l2[c].Invalidate(line) == cache.Modified && e.l3 != nil {
+				e.ev.L3DataWrite++
+				e.l3[e.l3Bank(line)].Access(e.l3Local(line), true)
+			}
+			e.l1d[c].Invalidate(line)
+			e.removeSharer(line, c)
+		}
+		mask >>= 1
+	}
+	if v, ok := e.directory[line]; ok {
+		e.directory[line] = v & (dirtyBit | 0xffff | 0xff<<16)
+	}
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+
+	"cactid/internal/sim/memctl"
+	"cactid/internal/sim/workload"
+)
+
+// testConfig builds a small, fast system configuration (scaled 8x)
+// for a given workload profile.
+func testConfig(p workload.Profile, l3 *L3Params, budget int64) Config {
+	p.HotBytes /= 8
+	p.WSBytes /= 8
+	return Config{
+		Cores: 8, ThreadsPerCore: 4, LineBytes: 64,
+		L1Bytes: 4 << 10, L1Ways: 8, L2Bytes: 128 << 10, L2Ways: 8,
+		L1HitCycles: 2, L2HitCycles: 3,
+		L3: l3,
+		Mem: memctl.Config{
+			Channels: 2, BanksPerChannel: 8, PageBytes: 8192, LineBytes: 64,
+			Policy: memctl.OpenPage,
+			Timing: memctl.Timing{TRCD: 21, CAS: 14, TRP: 15, TRAS: 78, TRC: 99, TRRD: 5, Burst: 3},
+		},
+		Workload: p, InstrBudget: budget, WarmupFrac: 0.25, Seed: 42,
+	}
+}
+
+func l3For(capacity int64) *L3Params {
+	return &L3Params{
+		CapacityBytes: capacity, Ways: 12, Banks: 8,
+		TagCycles: 2, DataCycles: 3, BankBusyCycles: 1, CrossbarCycles: 3,
+	}
+}
+
+func TestRunBasics(t *testing.T) {
+	p, _ := workload.ByName("ft.B")
+	r := Run(testConfig(p, l3For(6<<20), 2_000_000))
+	if r.Cycles <= 0 || r.Instrs <= 0 || r.IPC <= 0 {
+		t.Fatalf("degenerate result: %+v", r)
+	}
+	bd := r.Breakdown
+	if bd.Total() <= 0 || bd.Busy <= 0 {
+		t.Fatal("breakdown must have positive busy cycles")
+	}
+	if r.Events.L1DReads == 0 || r.Events.L2Accesses == 0 {
+		t.Fatal("no cache activity recorded")
+	}
+	if r.AvgReadLatency < 1 {
+		t.Fatalf("average read latency %g < L1 hit time", r.AvgReadLatency)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p, _ := workload.ByName("mg.B")
+	a := Run(testConfig(p, l3For(6<<20), 1_000_000))
+	b := Run(testConfig(p, l3For(6<<20), 1_000_000))
+	if a.Cycles != b.Cycles || a.Events != b.Events {
+		t.Fatal("same seed must reproduce the identical run")
+	}
+}
+
+func TestL3CapturesFittingWorkingSet(t *testing.T) {
+	// ft.B's working set (scaled) fits the larger L3: the L3 must
+	// filter most memory traffic and shorten the run.
+	p, _ := workload.ByName("ft.B")
+	noL3 := Run(testConfig(p, nil, 8_000_000))
+	with := Run(testConfig(p, l3For(12<<20), 8_000_000))
+	if with.Cycles >= noL3.Cycles {
+		t.Fatalf("fitting L3 did not speed up: %d vs %d cycles", with.Cycles, noL3.Cycles)
+	}
+	if with.L3MissRate > 0.40 {
+		t.Errorf("L3 miss rate %.2f too high for a fitting working set", with.L3MissRate)
+	}
+	memNo := noL3.Events.Mem.Reads + noL3.Events.Mem.Writes
+	memWith := with.Events.Mem.Reads + with.Events.Mem.Writes
+	if memWith*2 >= memNo {
+		t.Errorf("L3 filtered too little traffic: %d vs %d", memWith, memNo)
+	}
+}
+
+func TestNoLocalityWorkloadInsensitive(t *testing.T) {
+	// cg.C (uniform over a huge working set): the L3 changes little.
+	p, _ := workload.ByName("cg.C")
+	noL3 := Run(testConfig(p, nil, 2_000_000))
+	with := Run(testConfig(p, l3For(6<<20), 2_000_000))
+	ratio := float64(with.Cycles) / float64(noL3.Cycles)
+	if ratio < 0.80 || ratio > 1.25 {
+		t.Errorf("cg.C cycle ratio %g; expected near-insensitivity to L3", ratio)
+	}
+}
+
+func TestCapacityMonotonicityForLocalWorkload(t *testing.T) {
+	// bt.C has strong locality: bigger L3s must not hurt, and the
+	// biggest must clearly beat the smallest.
+	p, _ := workload.ByName("bt.C")
+	small := Run(testConfig(p, l3For(3<<20), 3_000_000))
+	big := Run(testConfig(p, l3For(24<<20), 3_000_000))
+	if big.Cycles >= small.Cycles {
+		t.Errorf("8x L3 capacity did not help bt.C: %d vs %d", big.Cycles, small.Cycles)
+	}
+	if big.L3MissRate >= small.L3MissRate {
+		t.Error("bigger L3 should miss less")
+	}
+}
+
+func TestBreakdownCategories(t *testing.T) {
+	// Memory-bound without L3: memory stall dominates; with a
+	// fitting L3 the L3 category appears and memory shrinks.
+	p, _ := workload.ByName("lu.C")
+	noL3 := Run(testConfig(p, nil, 5_000_000))
+	with := Run(testConfig(p, l3For(12<<20), 5_000_000))
+	if noL3.Breakdown.L3 != 0 {
+		t.Error("nol3 run cannot have L3 stalls")
+	}
+	if with.Breakdown.L3 <= 0 {
+		t.Error("L3 run must record L3 stalls")
+	}
+	if with.Breakdown.Mem >= noL3.Breakdown.Mem {
+		t.Error("L3 must reduce memory stall cycles")
+	}
+	// lu.C has locks; lock waits must be recorded.
+	if with.Breakdown.Lock <= 0 {
+		t.Error("lu.C must record lock waits")
+	}
+}
+
+func TestBarrierAccounting(t *testing.T) {
+	p, _ := workload.ByName("mg.B") // barriers every 100K instrs
+	r := Run(testConfig(p, l3For(6<<20), 10_000_000))
+	if r.Breakdown.Barrier <= 0 {
+		t.Fatal("mg.B must record barrier waits")
+	}
+	// Barrier waits are real but bounded (not the dominant class).
+	if r.Breakdown.Barrier > r.Breakdown.Total()/2 {
+		t.Error("barrier waits implausibly dominant")
+	}
+}
+
+func TestCoherenceActivity(t *testing.T) {
+	// is.C writes to a shared region: upgrades/invalidations and
+	// remote fetches must occur.
+	p, _ := workload.ByName("is.C")
+	r := Run(testConfig(p, l3For(6<<20), 2_000_000))
+	if r.Events.Upgrades == 0 && r.Events.RemoteFetches == 0 {
+		t.Error("shared-region workload produced no coherence traffic")
+	}
+}
+
+func TestWarmupExcluded(t *testing.T) {
+	p, _ := workload.ByName("ft.B")
+	cfg := testConfig(p, l3For(12<<20), 2_000_000)
+	cfg.WarmupFrac = 0.5
+	half := Run(cfg)
+	cfg.WarmupFrac = 0
+	full := Run(cfg)
+	if half.Instrs >= full.Instrs {
+		t.Error("warmup instructions must be excluded from results")
+	}
+	// Post-warmup miss rate should not exceed the cold-start rate.
+	if half.L3MissRate > full.L3MissRate*1.1 {
+		t.Errorf("post-warmup L3 miss rate %.3f above cold %.3f", half.L3MissRate, full.L3MissRate)
+	}
+}
+
+func TestMemTrafficConservation(t *testing.T) {
+	// Every memory read must correspond to a post-L3 (or post-L2)
+	// miss; reads cannot exceed misses.
+	p, _ := workload.ByName("sp.C")
+	r := Run(testConfig(p, l3For(6<<20), 2_000_000))
+	if r.Events.Mem.Reads > r.Events.L3Misses {
+		t.Errorf("memory reads %d exceed L3 misses %d", r.Events.Mem.Reads, r.Events.L3Misses)
+	}
+	if r.Events.L3Misses > r.Events.L3Tag {
+		t.Error("L3 misses exceed L3 accesses")
+	}
+	if r.Events.L2Misses > r.Events.L2Accesses {
+		t.Error("L2 misses exceed L2 accesses")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Run(Config{})
+}
+
+func TestIPCBounded(t *testing.T) {
+	// 32 threads at best-case CPI 1 (all FP) bound IPC at 32; any
+	// realistic mix sits well below.
+	for _, bm := range []string{"ua.C", "ft.B"} {
+		p, _ := workload.ByName(bm)
+		r := Run(testConfig(p, l3For(12<<20), 2_000_000))
+		if r.IPC <= 0 || r.IPC > 32 {
+			t.Errorf("%s: IPC %.2f outside (0, 32]", bm, r.IPC)
+		}
+	}
+}
+
+func TestEventsSaneAcrossAllBenchmarks(t *testing.T) {
+	// Smoke every profile through the engine with a small budget and
+	// check event conservation invariants.
+	for _, p := range workload.NPB() {
+		r := Run(testConfig(p, l3For(6<<20), 800_000))
+		ev := r.Events
+		if ev.L1DMisses > ev.L1DReads+ev.L1DWrites {
+			t.Errorf("%s: L1 misses exceed accesses", p.Name)
+		}
+		if ev.L2Accesses != ev.L1DMisses {
+			t.Errorf("%s: every L1 miss must access L2 (%d vs %d)", p.Name, ev.L2Accesses, ev.L1DMisses)
+		}
+		if ev.L3Tag > ev.L2Misses {
+			t.Errorf("%s: more L3 lookups than L2 misses", p.Name)
+		}
+		if r.Breakdown.Total() <= 0 {
+			t.Errorf("%s: empty breakdown", p.Name)
+		}
+	}
+}

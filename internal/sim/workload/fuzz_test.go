@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadTrace exercises the trace parser with arbitrary inputs: it
+// must either reject the input or produce well-formed references, and
+// never panic.
+func FuzzLoadTrace(f *testing.F) {
+	f.Add("0x1000,r\n2000,w,3,4\n")
+	f.Add("3000,r,0,0,barrier\n")
+	f.Add("# comment\n4000,w,1,2,lock\n")
+	f.Add("zzzz,r\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		refs, err := LoadTrace(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(refs) == 0 {
+			t.Fatal("nil error with empty trace")
+		}
+		for _, r := range refs {
+			if r.FPGap < 0 || r.OtherGap < 0 {
+				t.Fatalf("negative gaps in accepted ref %+v", r)
+			}
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Source produces one thread's reference stream. The synthetic
+// Generator implements it; TraceSource replays recorded traces, which
+// is how users drive the simulator with their own workloads (and how
+// the test suite builds directed coherence scenarios with exact
+// expectations).
+type Source interface {
+	// Next returns the next memory reference.
+	Next() Ref
+	// Instructions reports the total instructions generated so far
+	// (memory references plus the gaps preceding them).
+	Instructions() int64
+}
+
+// Instructions implements Source for the synthetic generator.
+func (g *Generator) Instructions() int64 { return g.Instrs }
+
+// TraceSource replays a fixed sequence of references, looping when it
+// reaches the end (so an instruction budget larger than the trace is
+// still satisfiable).
+type TraceSource struct {
+	Refs   []Ref
+	pos    int
+	instrs int64
+}
+
+// NewTraceSource builds a replaying source. It panics on an empty
+// trace (a thread must always be able to produce a reference).
+func NewTraceSource(refs []Ref) *TraceSource {
+	if len(refs) == 0 {
+		panic("workload: empty trace")
+	}
+	return &TraceSource{Refs: refs}
+}
+
+// Next returns the next reference, looping over the trace.
+func (t *TraceSource) Next() Ref {
+	r := t.Refs[t.pos]
+	t.pos = (t.pos + 1) % len(t.Refs)
+	t.instrs += int64(1 + r.FPGap + r.OtherGap)
+	return r
+}
+
+// Instructions reports instructions replayed so far.
+func (t *TraceSource) Instructions() int64 { return t.instrs }
+
+// LoadTrace parses a CSV trace. Each record is
+//
+//	addr,rw[,fpgap,othergap[,flags]]
+//
+// where addr is hex (with or without 0x), rw is "r" or "w", the gaps
+// are decimal instruction counts, and flags may contain "barrier"
+// and/or "lock". Blank lines and lines starting with '#' are skipped.
+func LoadTrace(r io.Reader) ([]Ref, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	cr.TrimLeadingSpace = true
+	var out []Ref
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("workload: trace line %d: need at least addr,rw", line)
+		}
+		addrStr := strings.TrimPrefix(strings.TrimSpace(rec[0]), "0x")
+		addr, err := strconv.ParseUint(addrStr, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad address %q", line, rec[0])
+		}
+		ref := Ref{Addr: addr}
+		switch strings.ToLower(strings.TrimSpace(rec[1])) {
+		case "r":
+		case "w":
+			ref.Write = true
+		default:
+			return nil, fmt.Errorf("workload: trace line %d: rw must be r or w, got %q", line, rec[1])
+		}
+		if len(rec) > 2 {
+			ref.FPGap, err = strconv.Atoi(strings.TrimSpace(rec[2]))
+			if err != nil || ref.FPGap < 0 {
+				return nil, fmt.Errorf("workload: trace line %d: bad fpgap %q", line, rec[2])
+			}
+		}
+		if len(rec) > 3 {
+			ref.OtherGap, err = strconv.Atoi(strings.TrimSpace(rec[3]))
+			if err != nil || ref.OtherGap < 0 {
+				return nil, fmt.Errorf("workload: trace line %d: bad othergap %q", line, rec[3])
+			}
+		}
+		if len(rec) > 4 {
+			for _, f := range strings.Fields(strings.ReplaceAll(rec[4], ";", " ")) {
+				switch strings.ToLower(f) {
+				case "barrier":
+					ref.Barrier = true
+				case "lock":
+					ref.Lock = true
+				default:
+					return nil, fmt.Errorf("workload: trace line %d: unknown flag %q", line, f)
+				}
+			}
+		}
+		out = append(out, ref)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	return out, nil
+}

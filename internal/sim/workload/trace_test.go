@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceSourceLoops(t *testing.T) {
+	refs := []Ref{
+		{Addr: 0x1000, FPGap: 1},
+		{Addr: 0x2000, Write: true, OtherGap: 2},
+	}
+	s := NewTraceSource(refs)
+	for i := 0; i < 5; i++ {
+		got := s.Next()
+		want := refs[i%2]
+		if got != want {
+			t.Fatalf("ref %d = %+v, want %+v", i, got, want)
+		}
+	}
+	// 5 refs: 3x first (2 instrs each) + 2x second (3 instrs each).
+	if got := s.Instructions(); got != 3*2+2*3 {
+		t.Fatalf("Instructions = %d, want 12", got)
+	}
+}
+
+func TestTraceSourcePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTraceSource(nil)
+}
+
+func TestLoadTrace(t *testing.T) {
+	in := `# address, rw, fpgap, othergap, flags
+0x1000,r
+2000,w,3,4
+3000,r,0,0,barrier
+4000,w,1,2,lock
+5000,r,0,1,barrier;lock
+`
+	refs, err := LoadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 5 {
+		t.Fatalf("got %d refs", len(refs))
+	}
+	if refs[0].Addr != 0x1000 || refs[0].Write {
+		t.Errorf("ref 0 = %+v", refs[0])
+	}
+	if refs[1].Addr != 0x2000 || !refs[1].Write || refs[1].FPGap != 3 || refs[1].OtherGap != 4 {
+		t.Errorf("ref 1 = %+v", refs[1])
+	}
+	if !refs[2].Barrier || refs[2].Lock {
+		t.Errorf("ref 2 flags = %+v", refs[2])
+	}
+	if !refs[3].Lock || refs[3].Barrier {
+		t.Errorf("ref 3 flags = %+v", refs[3])
+	}
+	if !refs[4].Barrier || !refs[4].Lock {
+		t.Errorf("ref 4 flags = %+v", refs[4])
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	cases := []string{
+		"",                     // empty
+		"zzzz,r",               // bad address
+		"1000,x",               // bad rw
+		"1000",                 // too few fields
+		"1000,r,-1",            // bad gap
+		"1000,r,0,zz",          // bad gap
+		"1000,r,0,0,whirlygig", // bad flag
+	}
+	for i, in := range cases {
+		if _, err := LoadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d (%q) should fail", i, in)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNPBProfiles(t *testing.T) {
+	ps := NPB()
+	if len(ps) != 8 {
+		t.Fatalf("NPB has %d profiles, want 8", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		names[p.Name] = true
+		if p.MemPerInstr <= 0 || p.MemPerInstr >= 1 {
+			t.Errorf("%s: MemPerInstr %g out of (0,1)", p.Name, p.MemPerInstr)
+		}
+		if p.HotFrac <= 0 || p.HotFrac >= 1 {
+			t.Errorf("%s: HotFrac %g out of (0,1)", p.Name, p.HotFrac)
+		}
+		if p.WSBytes <= p.HotBytes {
+			t.Errorf("%s: working set smaller than hot set", p.Name)
+		}
+		if p.RadialK < 1 {
+			t.Errorf("%s: RadialK %g < 1", p.Name, p.RadialK)
+		}
+	}
+	for _, want := range []string{"bt.C", "cg.C", "ft.B", "is.C", "lu.C", "mg.B", "sp.C", "ua.C"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %s", want)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("ft.B")
+	if err != nil || p.Name != "ft.B" {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nonsense"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestPaperGroupCharacteristics(t *testing.T) {
+	// Section 4.2's grouping must be visible in the parameters.
+	ft, _ := ByName("ft.B")
+	lu, _ := ByName("lu.C")
+	cg, _ := ByName("cg.C")
+	ua, _ := ByName("ua.C")
+	bt, _ := ByName("bt.C")
+	// ft.B and lu.C working sets fit within the DRAM L3s (<=96MB).
+	if ft.WSBytes > 96<<20 || lu.WSBytes > 96<<20 {
+		t.Error("ft.B/lu.C working sets must fit the DRAM L3s")
+	}
+	// bt/cg working sets exceed even the 192MB L3.
+	if bt.WSBytes <= 192<<20 || cg.WSBytes <= 192<<20 {
+		t.Error("bt.C/cg.C working sets must exceed 192MB")
+	}
+	// cg.C has no post-L2 locality (uniform).
+	if cg.RadialK != 1.0 {
+		t.Errorf("cg.C RadialK = %g, want 1.0 (uniform)", cg.RadialK)
+	}
+	// ua.C rarely leaves L2.
+	if ua.HotFrac < 0.95 {
+		t.Errorf("ua.C HotFrac = %g, want very high", ua.HotFrac)
+	}
+	// bt.C has strong reuse locality.
+	if bt.RadialK < 2.5 {
+		t.Errorf("bt.C RadialK = %g, want strong concentration", bt.RadialK)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("ft.B")
+	g1 := NewGenerator(p, 3, 32, 42)
+	g2 := NewGenerator(p, 3, 32, 42)
+	for i := 0; i < 1000; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("ref %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	g3 := NewGenerator(p, 4, 32, 42)
+	same := 0
+	g1b := NewGenerator(p, 3, 32, 42)
+	for i := 0; i < 1000; i++ {
+		if g1b.Next().Addr == g3.Next().Addr {
+			same++
+		}
+	}
+	if same > 500 {
+		t.Error("different threads should produce mostly different streams")
+	}
+}
+
+func TestAddressesLineAligned(t *testing.T) {
+	p, _ := ByName("is.C")
+	g := NewGenerator(p, 0, 32, 7)
+	for i := 0; i < 10000; i++ {
+		if r := g.Next(); r.Addr%64 != 0 {
+			t.Fatalf("unaligned address %x", r.Addr)
+		}
+	}
+}
+
+func TestMemIntensityMatchesProfile(t *testing.T) {
+	p, _ := ByName("cg.C")
+	g := NewGenerator(p, 0, 32, 7)
+	refs := 50000
+	for i := 0; i < refs; i++ {
+		g.Next()
+	}
+	got := float64(refs) / float64(g.Instrs)
+	if got < p.MemPerInstr*0.8 || got > p.MemPerInstr*1.25 {
+		t.Errorf("memory intensity %g, profile says %g", got, p.MemPerInstr)
+	}
+}
+
+func TestHotFractionRespected(t *testing.T) {
+	p, _ := ByName("sp.C")
+	g := NewGenerator(p, 0, 32, 7)
+	hot := 0
+	n := 100000
+	for i := 0; i < n; i++ {
+		if r := g.Next(); r.Addr >= hotRegionBase {
+			hot++
+		}
+	}
+	got := float64(hot) / float64(n)
+	if got < p.HotFrac-0.08 || got > p.HotFrac+0.08 {
+		t.Errorf("hot fraction %g, profile says %g", got, p.HotFrac)
+	}
+}
+
+func TestColdFootprintBounded(t *testing.T) {
+	// The union of all threads' cold addresses must stay within
+	// WSBytes (the bug class this guards against inflated the
+	// footprint by nthreads).
+	p, _ := ByName("ft.B")
+	nthreads := 32
+	var maxAddr uint64
+	for th := 0; th < nthreads; th++ {
+		g := NewGenerator(p, th, nthreads, 7)
+		for i := 0; i < 5000; i++ {
+			r := g.Next()
+			if r.Addr >= coldRegionBase && r.Addr < hotRegionBase && r.Addr > maxAddr {
+				maxAddr = r.Addr
+			}
+		}
+	}
+	if maxAddr == 0 {
+		t.Fatal("no cold references seen")
+	}
+	if span := maxAddr - coldRegionBase; span > uint64(p.WSBytes) {
+		t.Errorf("cold footprint %d exceeds WSBytes %d", span, p.WSBytes)
+	}
+}
+
+func TestRadialLocality(t *testing.T) {
+	// With K=3.4 (bt.C), at least 60% of cold references must land
+	// in the innermost quarter of the thread's slab.
+	p, _ := ByName("bt.C")
+	g := NewGenerator(p, 0, 32, 7)
+	slab := uint64(p.WSBytes) / 32
+	inner, total := 0, 0
+	for i := 0; i < 200000; i++ {
+		r := g.Next()
+		if r.Addr >= coldRegionBase && r.Addr < coldRegionBase+slab && r.Addr < hotRegionBase {
+			total++
+			if r.Addr < coldRegionBase+slab/4 {
+				inner++
+			}
+		}
+	}
+	if total < 100 {
+		t.Fatalf("only %d cold refs for thread 0", total)
+	}
+	if frac := float64(inner) / float64(total); frac < 0.6 {
+		t.Errorf("inner-quarter fraction %g, want >= 0.6 for K=%g", frac, p.RadialK)
+	}
+}
+
+func TestSynchronizationCadence(t *testing.T) {
+	p, _ := ByName("is.C") // has both barriers and locks
+	g := NewGenerator(p, 0, 32, 7)
+	barriers, locks := 0, 0
+	for g.Instrs < 1_300_000 {
+		r := g.Next()
+		if r.Barrier {
+			barriers++
+		}
+		if r.Lock {
+			locks++
+		}
+	}
+	if barriers < 8 || barriers > 13 {
+		t.Errorf("barriers = %d over 1.3M instrs at every-%d", barriers, p.BarrierEvery)
+	}
+	if locks < 15 || locks > 26 {
+		t.Errorf("locks = %d over 1.3M instrs at every-%d", locks, p.LockEvery)
+	}
+}
+
+func TestPropertyRefsWellFormed(t *testing.T) {
+	p, _ := ByName("mg.B")
+	g := NewGenerator(p, 1, 32, 99)
+	f := func(_ uint8) bool {
+		r := g.Next()
+		return r.Addr != 0 && r.FPGap >= 0 && r.OtherGap >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

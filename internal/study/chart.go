@@ -1,0 +1,68 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ChartFig4 renders Figure 4(a)'s IPC bars as ASCII, grouped by
+// benchmark with one bar per configuration — a terminal stand-in for
+// the paper's plot.
+func (f *Figures) ChartFig4() string {
+	return f.chart("Figure 4(a): IPC", func(p Figure4Point) float64 { return p.IPC }, "%.2f")
+}
+
+// ChartFig5 renders Figure 5(b)'s normalized energy-delay bars.
+func (f *Figures) ChartFig5() string {
+	pts := map[[2]string]float64{}
+	for _, p := range f.Fig5 {
+		pts[[2]string{p.Benchmark, p.Config}] = p.EDPNorm
+	}
+	return f.chart("Figure 5(b): system energy-delay (normalized to nol3)",
+		func(p Figure4Point) float64 { return pts[[2]string{p.Benchmark, p.Config}] }, "%.3f")
+}
+
+// chart is the shared bar renderer: it scales bars to the maximum
+// value across all points.
+func (f *Figures) chart(title string, value func(Figure4Point) float64, format string) string {
+	const width = 44
+	maxV := 0.0
+	for _, p := range f.Fig4 {
+		if v := value(p); v > maxV {
+			maxV = v
+		}
+	}
+	if maxV == 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	fmt.Fprintln(&b, title)
+	benchmarks := map[string]bool{}
+	for _, p := range f.Fig4 {
+		benchmarks[p.Benchmark] = true
+	}
+	names := make([]string, 0, len(benchmarks))
+	for bm := range benchmarks {
+		names = append(names, bm)
+	}
+	sort.Strings(names)
+	for _, bm := range names {
+		fmt.Fprintf(&b, "%s\n", bm)
+		for _, p := range f.Fig4 {
+			if p.Benchmark != bm {
+				continue
+			}
+			v := value(p)
+			n := int(v / maxV * width)
+			if n < 0 {
+				n = 0
+			}
+			if n > width {
+				n = width
+			}
+			fmt.Fprintf(&b, "  %-11s %s %s\n", p.Config, strings.Repeat("#", n), fmt.Sprintf(format, v))
+		}
+	}
+	return b.String()
+}

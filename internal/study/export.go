@@ -1,0 +1,125 @@
+package study
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// ExportCSV writes the study's tables and figures as CSV files into
+// dir (created if missing): table3.csv, fig4.csv, fig5.csv and
+// headlines.csv — the raw data behind the paper's plots, ready for any
+// plotting tool.
+func ExportCSV(dir string, rows []Table3Row, f *Figures, runs map[string]map[string]*RunResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "table3.csv"), table3Records(rows)); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "fig4.csv"), fig4Records(f)); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, "fig5.csv"), fig5Records(f, runs)); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, "headlines.csv"), headlineRecords(f))
+}
+
+func writeCSV(path string, records [][]string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(file)
+	if err := w.WriteAll(records); err != nil {
+		file.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		file.Close()
+		return err
+	}
+	return file.Close()
+}
+
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func table3Records(rows []Table3Row) [][]string {
+	out := [][]string{{
+		"level", "capacity", "banks", "subbanks", "assoc", "clock_div",
+		"access_cycles", "cycle_cycles", "area_mm2", "area_eff",
+		"leakage_w", "refresh_w", "read_nj",
+	}}
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, r.Capacity,
+			strconv.Itoa(r.Banks), strconv.Itoa(r.Subbanks), strconv.Itoa(r.Assoc),
+			strconv.Itoa(r.ClockDiv),
+			strconv.FormatInt(r.AccessCycles, 10), strconv.FormatInt(r.RandCycleCycles, 10),
+			ff(r.AreaMM2), ff(r.AreaEff), ff(r.LeakageW), ff(r.RefreshW), ff(r.DynReadNJ),
+		})
+	}
+	return out
+}
+
+func fig4Records(f *Figures) [][]string {
+	out := [][]string{{
+		"benchmark", "config", "ipc", "avg_read_latency_cycles",
+		"frac_instruction", "frac_l2", "frac_l3", "frac_memory", "frac_barrier", "frac_lock",
+	}}
+	for _, p := range f.Fig4 {
+		out = append(out, []string{
+			p.Benchmark, p.Config, ff(p.IPC), ff(p.AvgReadLatency),
+			ff(p.Instruction), ff(p.L2), ff(p.L3), ff(p.Memory), ff(p.Barrier), ff(p.Lock),
+		})
+	}
+	return out
+}
+
+func fig5Records(f *Figures, runs map[string]map[string]*RunResult) [][]string {
+	out := [][]string{{
+		"benchmark", "config",
+		"l1_w", "l2_w", "xbar_w", "l3_w", "l3_refresh_w",
+		"mem_dyn_w", "mem_standby_w", "mem_refresh_w", "bus_w",
+		"hierarchy_w", "system_w", "edp_norm", "cycles_rel",
+	}}
+	benchmarks := make([]string, 0, len(runs))
+	for bm := range runs {
+		benchmarks = append(benchmarks, bm)
+	}
+	sort.Strings(benchmarks)
+	for _, bm := range benchmarks {
+		base := runs[bm]["nol3"]
+		for _, cn := range ConfigNames {
+			r := runs[bm][cn]
+			p := r.Power
+			out = append(out, []string{
+				bm, cn,
+				ff(p.L1Leak + p.L1Dyn), ff(p.L2Leak + p.L2Dyn), ff(p.XbarLeak + p.XbarDyn),
+				ff(p.L3Leak + p.L3Dyn), ff(p.L3Refresh),
+				ff(p.MemDyn), ff(p.MemStandby), ff(p.MemRefresh), ff(p.Bus),
+				ff(p.MemoryHierarchy()), ff(p.System()),
+				ff(r.EDP / base.EDP),
+				ff(float64(r.Sim.Cycles) / float64(base.Sim.Cycles)),
+			})
+		}
+	}
+	return out
+}
+
+func headlineRecords(f *Figures) [][]string {
+	out := [][]string{{"config", "exec_time_reduction", "mem_power_increase", "edp_improvement"}}
+	for _, cn := range ConfigNames[1:] {
+		out = append(out, []string{
+			cn,
+			ff(f.ExecTimeReduction[cn]),
+			ff(f.MemPowerIncrease[cn]),
+			ff(f.EDPImprovement[cn]),
+		})
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package study
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"cactid/internal/core"
+)
+
+// Table3Row is one column of the paper's Table 3 (a cache level or
+// the main memory chip).
+type Table3Row struct {
+	Name            string
+	Capacity        string
+	Banks           int
+	Subbanks        int
+	Assoc           int
+	ClockDiv        int // cache clock = CPU clock / ClockDiv
+	AccessCycles    int64
+	RandCycleCycles int64
+	AreaMM2         float64 // per bank for L3, total otherwise
+	AreaEff         float64
+	LeakageW        float64
+	RefreshW        float64
+	DynReadNJ       float64
+}
+
+func solRow(name, capacity string, sol *core.Solution, perBankArea bool) Table3Row {
+	acc := int64(math.Ceil(sol.AccessTime * ClockHz))
+	// DRAM caches operate with multisubbank interleaving
+	// (Section 3.4); the effective random cycle presented to the
+	// system is the interleave cycle.
+	rc := int64(math.Ceil(sol.InterleaveCycle * ClockHz))
+	area := sol.Area * 1e6
+	if perBankArea {
+		area = sol.BankArea * 1e6
+	}
+	div := int(math.Ceil(float64(acc) / 6))
+	return Table3Row{
+		Name: name, Capacity: capacity,
+		Banks: sol.Spec.Banks, Subbanks: sol.Data.Org.Subbanks,
+		Assoc: sol.Spec.Associativity, ClockDiv: div,
+		AccessCycles: acc, RandCycleCycles: rc,
+		AreaMM2: area, AreaEff: sol.AreaEff,
+		LeakageW: sol.LeakagePower, RefreshW: sol.RefreshPower,
+		DynReadNJ: sol.EReadPerAccess * 1e9,
+	}
+}
+
+// Table3 produces the study's Table 3.
+func (s *Study) Table3() []Table3Row {
+	rows := []Table3Row{
+		solRow("L1", "32KB", s.L1, false),
+		solRow("L2", "1MB", s.L2, false),
+		solRow("L3 SRAM", "24MB", s.L3["sram"], true),
+		solRow("L3 LP-DRAM ED", "48MB", s.L3["lp_dram_ed"], true),
+		solRow("L3 LP-DRAM C", "72MB", s.L3["lp_dram_c"], true),
+		solRow("L3 COMM-DRAM ED", "96MB", s.L3["cm_dram_ed"], true),
+		solRow("L3 COMM-DRAM C", "192MB", s.L3["cm_dram_c"], true),
+	}
+	// Main memory chip column.
+	c := s.MemChip
+	acc := int64(math.Ceil(c.ReadLatency() * ClockHz))
+	rows = append(rows, Table3Row{
+		Name: "Main memory chip", Capacity: "8Gb",
+		Banks: c.Cfg.Banks, Subbanks: c.Bank.Org.Subbanks, Assoc: 0,
+		ClockDiv:        int(math.Ceil(float64(acc) / 6)),
+		AccessCycles:    acc,
+		RandCycleCycles: int64(math.Ceil(c.Timing.TRC * ClockHz)),
+		AreaMM2:         c.Area * 1e6,
+		AreaEff:         c.AreaEff,
+		LeakageW:        c.StandbyPower,
+		RefreshW:        c.RefreshPower,
+		// Dynamic read energy per cache line: 8 chips each doing
+		// ACT+RD (Table 3's 14.2nJ figure counts the whole rank).
+		DynReadNJ: float64(memChipsPerAccess) * (c.EActivate + c.ERead) * 1e9,
+	})
+	return rows
+}
+
+// FormatTable3 renders Table 3 as text.
+func FormatTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Table 3: Projections of key properties of the caches and main memory chip at 32nm")
+	fmt.Fprintf(&b, "%-18s %8s %6s %9s %6s %6s %7s %7s %9s %7s %9s %9s %8s\n",
+		"Level", "Cap", "Banks", "Subbanks", "Assoc", "Clk", "Acc(cy)", "Cyc(cy)", "Area(mm2)", "Eff(%)", "Leak(W)", "Refr(W)", "Erd(nJ)")
+	for _, r := range rows {
+		clk := "1"
+		if r.ClockDiv > 1 {
+			clk = fmt.Sprintf("1/%d", r.ClockDiv)
+		}
+		assoc := fmt.Sprintf("%d", r.Assoc)
+		if r.Assoc == 0 {
+			assoc = "N/A"
+		}
+		fmt.Fprintf(&b, "%-18s %8s %6d %9d %6s %6s %7d %7d %9.2f %7.0f %9.3g %9.3g %8.2f\n",
+			r.Name, r.Capacity, r.Banks, r.Subbanks, assoc, clk,
+			r.AccessCycles, r.RandCycleCycles, r.AreaMM2, r.AreaEff*100,
+			r.LeakageW, r.RefreshW, r.DynReadNJ)
+	}
+	return b.String()
+}
+
+// Figure4Point is one bar of Figure 4.
+type Figure4Point struct {
+	Benchmark, Config string
+	IPC               float64
+	AvgReadLatency    float64
+	// Normalized execution-cycle breakdown (sums to 1).
+	Instruction, L2, L3, Memory, Barrier, Lock float64
+}
+
+// Figure5Point is one bar of Figure 5. Raw power components are
+// exposed via the stats.Power in RunResult; this struct carries the
+// derived figures.
+type Figure5Point struct {
+	Benchmark, Config string
+	MemHierW          float64
+	SystemW           float64
+	EDPNorm           float64 // vs nol3
+	CyclesRel         float64 // execution time vs nol3
+}
+
+// Figures computes all figure data from a RunAll result set.
+type Figures struct {
+	Fig4 []Figure4Point
+	Fig5 []Figure5Point
+
+	// Headline averages over benchmarks, per config (vs nol3):
+	ExecTimeReduction map[string]float64 // positive = faster
+	MemPowerIncrease  map[string]float64 // positive = more power
+	EDPImprovement    map[string]float64 // positive = better
+}
+
+// MakeFigures reduces raw runs to the paper's figures.
+func MakeFigures(runs map[string]map[string]*RunResult) *Figures {
+	f := &Figures{
+		ExecTimeReduction: map[string]float64{},
+		MemPowerIncrease:  map[string]float64{},
+		EDPImprovement:    map[string]float64{},
+	}
+	benchmarks := make([]string, 0, len(runs))
+	for b := range runs {
+		benchmarks = append(benchmarks, b)
+	}
+	sort.Strings(benchmarks)
+
+	type agg struct{ exec, pow, edp float64 }
+	sums := map[string]*agg{}
+	for _, cn := range ConfigNames {
+		sums[cn] = &agg{}
+	}
+
+	for _, bm := range benchmarks {
+		base := runs[bm]["nol3"]
+		for _, cn := range ConfigNames {
+			r := runs[bm][cn]
+			bd := r.Sim.Breakdown
+			tot := float64(bd.Total())
+			if tot == 0 {
+				tot = 1
+			}
+			f.Fig4 = append(f.Fig4, Figure4Point{
+				Benchmark: bm, Config: cn,
+				IPC: r.Sim.IPC, AvgReadLatency: r.Sim.AvgReadLatency,
+				Instruction: float64(bd.Busy) / tot,
+				L2:          float64(bd.L2) / tot,
+				L3:          float64(bd.L3) / tot,
+				Memory:      float64(bd.Mem) / tot,
+				Barrier:     float64(bd.Barrier) / tot,
+				Lock:        float64(bd.Lock) / tot,
+			})
+			f.Fig5 = append(f.Fig5, Figure5Point{
+				Benchmark: bm, Config: cn,
+				MemHierW:  r.Power.MemoryHierarchy(),
+				SystemW:   r.Power.System(),
+				EDPNorm:   r.EDP / base.EDP,
+				CyclesRel: float64(r.Sim.Cycles) / float64(base.Sim.Cycles),
+			})
+			a := sums[cn]
+			a.exec += float64(r.Sim.Cycles) / float64(base.Sim.Cycles)
+			a.pow += r.Power.MemoryHierarchy() / base.Power.MemoryHierarchy()
+			a.edp += r.EDP / base.EDP
+		}
+	}
+	n := float64(len(benchmarks))
+	for _, cn := range ConfigNames {
+		a := sums[cn]
+		f.ExecTimeReduction[cn] = 1 - a.exec/n
+		f.MemPowerIncrease[cn] = a.pow/n - 1
+		f.EDPImprovement[cn] = 1 - a.edp/n
+	}
+	return f
+}
+
+// FormatFig4 renders Figure 4's data as text.
+func (f *Figures) FormatFig4() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 4(a): IPC and average read latency; (b): execution cycle breakdown")
+	fmt.Fprintf(&b, "%-6s %-11s %6s %8s | %6s %5s %5s %5s %7s %5s\n",
+		"bench", "config", "IPC", "readlat", "instr", "L2", "L3", "mem", "barrier", "lock")
+	for _, p := range f.Fig4 {
+		fmt.Fprintf(&b, "%-6s %-11s %6.2f %8.1f | %6.2f %5.2f %5.2f %5.2f %7.2f %5.2f\n",
+			p.Benchmark, p.Config, p.IPC, p.AvgReadLatency,
+			p.Instruction, p.L2, p.L3, p.Memory, p.Barrier, p.Lock)
+	}
+	return b.String()
+}
+
+// FormatFig5 renders Figure 5's data as text, including the headline
+// averages the paper quotes.
+func (f *Figures) FormatFig5(runs map[string]map[string]*RunResult) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "Figure 5(a): memory hierarchy power breakdown (W); (b): system power and normalized EDP")
+	fmt.Fprintf(&b, "%-6s %-11s %6s %6s %6s %6s %6s %6s %7s %6s %6s | %7s %7s %7s\n",
+		"bench", "config", "L1", "L2", "xbar", "L3", "L3rfr", "memdyn", "standby", "mrefr", "bus", "hier(W)", "sys(W)", "EDPn")
+	benchmarks := make([]string, 0, len(runs))
+	for bm := range runs {
+		benchmarks = append(benchmarks, bm)
+	}
+	sort.Strings(benchmarks)
+	for _, bm := range benchmarks {
+		base := runs[bm]["nol3"]
+		for _, cn := range ConfigNames {
+			r := runs[bm][cn]
+			p := r.Power
+			fmt.Fprintf(&b, "%-6s %-11s %6.2f %6.2f %6.2f %6.2f %6.3f %6.2f %7.2f %6.3f %6.2f | %7.2f %7.2f %7.3f\n",
+				bm, cn,
+				p.L1Leak+p.L1Dyn, p.L2Leak+p.L2Dyn, p.XbarLeak+p.XbarDyn,
+				p.L3Leak+p.L3Dyn, p.L3Refresh, p.MemDyn, p.MemStandby, p.MemRefresh, p.Bus,
+				p.MemoryHierarchy(), p.System(), r.EDP/base.EDP)
+		}
+	}
+	fmt.Fprintln(&b, "\nHeadline averages vs nol3 (paper: exec -39%/-43% for COMM-DRAM; mem power +58% SRAM,")
+	fmt.Fprintln(&b, "+37%/+35% LP-DRAM, +1.2%/+2.3% COMM-DRAM; EDP -33%/-40% for COMM-DRAM):")
+	for _, cn := range ConfigNames[1:] {
+		fmt.Fprintf(&b, "  %-11s exec time %+6.1f%%  mem-hier power %+6.1f%%  EDP %+6.1f%%\n",
+			cn, -100*f.ExecTimeReduction[cn], 100*f.MemPowerIncrease[cn], -100*f.EDPImprovement[cn])
+	}
+	return b.String()
+}
+
+// AverageFigures runs the sweep for each seed over the given
+// benchmarks (nil means all eight) and averages the figure data
+// pointwise — smoothing run-to-run workload variation for reporting.
+func (s *Study) AverageFigures(seeds []uint64, benchmarks []string) (*Figures, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("study: need at least one seed")
+	}
+	if benchmarks == nil {
+		for _, p := range allBenchmarks() {
+			benchmarks = append(benchmarks, p)
+		}
+	}
+	var figs []*Figures
+	for _, seed := range seeds {
+		runs := map[string]map[string]*RunResult{}
+		for _, bm := range benchmarks {
+			runs[bm] = map[string]*RunResult{}
+			for _, cn := range ConfigNames {
+				r, err := s.Run(bm, cn, seed)
+				if err != nil {
+					return nil, err
+				}
+				runs[bm][cn] = r
+			}
+		}
+		figs = append(figs, MakeFigures(runs))
+	}
+	return averageFigures(figs), nil
+}
+
+func allBenchmarks() []string {
+	return []string{"bt.C", "cg.C", "ft.B", "is.C", "lu.C", "mg.B", "sp.C", "ua.C"}
+}
+
+// averageFigures folds per-seed figures into pointwise means. All
+// inputs must have identical point ordering (same benchmarks/configs).
+func averageFigures(figs []*Figures) *Figures {
+	n := float64(len(figs))
+	out := &Figures{
+		Fig4:              append([]Figure4Point(nil), figs[0].Fig4...),
+		Fig5:              append([]Figure5Point(nil), figs[0].Fig5...),
+		ExecTimeReduction: map[string]float64{},
+		MemPowerIncrease:  map[string]float64{},
+		EDPImprovement:    map[string]float64{},
+	}
+	for i := range out.Fig4 {
+		var p4 Figure4Point
+		var p5 Figure5Point
+		p4.Benchmark, p4.Config = out.Fig4[i].Benchmark, out.Fig4[i].Config
+		p5.Benchmark, p5.Config = out.Fig5[i].Benchmark, out.Fig5[i].Config
+		for _, f := range figs {
+			a, b := f.Fig4[i], f.Fig5[i]
+			p4.IPC += a.IPC / n
+			p4.AvgReadLatency += a.AvgReadLatency / n
+			p4.Instruction += a.Instruction / n
+			p4.L2 += a.L2 / n
+			p4.L3 += a.L3 / n
+			p4.Memory += a.Memory / n
+			p4.Barrier += a.Barrier / n
+			p4.Lock += a.Lock / n
+			p5.MemHierW += b.MemHierW / n
+			p5.SystemW += b.SystemW / n
+			p5.EDPNorm += b.EDPNorm / n
+			p5.CyclesRel += b.CyclesRel / n
+		}
+		out.Fig4[i], out.Fig5[i] = p4, p5
+	}
+	for _, cn := range ConfigNames {
+		for _, f := range figs {
+			out.ExecTimeReduction[cn] += f.ExecTimeReduction[cn] / n
+			out.MemPowerIncrease[cn] += f.MemPowerIncrease[cn] / n
+			out.EDPImprovement[cn] += f.EDPImprovement[cn] / n
+		}
+	}
+	return out
+}

@@ -1,0 +1,450 @@
+package study
+
+import (
+	"encoding/csv"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"cactid/internal/sim/workload"
+	"cactid/internal/tech"
+)
+
+// sharedStudy caches the CACTI-D projections across tests (the
+// enumeration is the slow part).
+var (
+	sharedOnce  sync.Once
+	sharedStudy *Study
+	sharedErr   error
+)
+
+func getStudy(t *testing.T) *Study {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedStudy, sharedErr = New(8, 3_000_000)
+	})
+	if sharedErr != nil {
+		t.Fatal(sharedErr)
+	}
+	return sharedStudy
+}
+
+func TestTable3Shape(t *testing.T) {
+	s := getStudy(t)
+	rows := s.Table3()
+	if len(rows) != 8 {
+		t.Fatalf("Table 3 has %d rows, want 8 (L1, L2, five L3s, main memory)", len(rows))
+	}
+
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+
+	// Paper Table 3 anchor points (2GHz cycles).
+	l1 := byName["L1"]
+	if l1.AccessCycles < 1 || l1.AccessCycles > 3 {
+		t.Errorf("L1 access %d cycles, paper: 2", l1.AccessCycles)
+	}
+	sram := byName["L3 SRAM"]
+	lpED := byName["L3 LP-DRAM ED"]
+	lpC := byName["L3 LP-DRAM C"]
+	cmED := byName["L3 COMM-DRAM ED"]
+	cmC := byName["L3 COMM-DRAM C"]
+	mm := byName["Main memory chip"]
+
+	// SRAM L3 leakage ~3.6W; LP-DRAMs below it; COMM-DRAMs orders
+	// lower (Table 3's central standby-power story).
+	if sram.LeakageW < 2.0 || sram.LeakageW > 5.5 {
+		t.Errorf("SRAM L3 leakage %.2fW, paper 3.6W", sram.LeakageW)
+	}
+	if !(lpED.LeakageW < sram.LeakageW && lpC.LeakageW < sram.LeakageW) {
+		t.Error("LP-DRAM L3 leakage must undercut SRAM")
+	}
+	if !(cmED.LeakageW < lpED.LeakageW/10 && cmC.LeakageW < lpC.LeakageW/10) {
+		t.Error("COMM-DRAM L3 leakage must be orders below LP-DRAM")
+	}
+	// Refresh: only DRAMs, LP out-refreshes COMM.
+	if sram.RefreshW != 0 || lpED.RefreshW <= 0 || cmED.RefreshW <= 0 {
+		t.Error("refresh power signs wrong")
+	}
+	if lpED.RefreshW <= cmED.RefreshW {
+		t.Error("LP-DRAM must out-refresh COMM-DRAM")
+	}
+	// Access-time ordering: SRAM < LP < COMM; config C slower than ED.
+	if !(sram.AccessCycles <= lpED.AccessCycles && lpED.AccessCycles < cmED.AccessCycles) {
+		t.Errorf("access ordering violated: %d/%d/%d", sram.AccessCycles, lpED.AccessCycles, cmED.AccessCycles)
+	}
+	if cmC.AccessCycles <= cmED.AccessCycles {
+		t.Error("config C (capacity) should be slower than config ED")
+	}
+	// Interleave cycles: paper 1/1/3/5/10.
+	if sram.RandCycleCycles != 1 || lpED.RandCycleCycles != 1 {
+		t.Errorf("SRAM/LP-ED effective cycle %d/%d, paper 1/1", sram.RandCycleCycles, lpC.RandCycleCycles)
+	}
+	if cmC.RandCycleCycles <= cmED.RandCycleCycles {
+		t.Error("COMM C must cycle slower than COMM ED")
+	}
+	// Bank areas fit the 6.2mm2 budget.
+	for _, r := range []Table3Row{sram, lpED, lpC, cmED, cmC} {
+		if r.AreaMM2 > 6.3 {
+			t.Errorf("%s bank area %.2fmm2 exceeds the 6.2mm2 budget", r.Name, r.AreaMM2)
+		}
+	}
+	// Main memory: tRC ~98 cycles, area efficiency around 46-60%.
+	if mm.RandCycleCycles < 80 || mm.RandCycleCycles > 120 {
+		t.Errorf("main memory tRC %d cycles, paper 98", mm.RandCycleCycles)
+	}
+	if mm.AreaEff < 0.40 || mm.AreaEff > 0.65 {
+		t.Errorf("main memory area efficiency %.2f", mm.AreaEff)
+	}
+	// Dynamic read energy of a line from the rank ~14nJ.
+	if mm.DynReadNJ < 7 || mm.DynReadNJ > 25 {
+		t.Errorf("main memory line read %.1fnJ, paper 14.2nJ", mm.DynReadNJ)
+	}
+}
+
+func TestTable3Format(t *testing.T) {
+	s := getStudy(t)
+	txt := FormatTable3(s.Table3())
+	for _, want := range []string{"L1", "L3 SRAM", "COMM-DRAM", "Main memory", "192MB", "8Gb"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("Table 3 output missing %q", want)
+		}
+	}
+}
+
+func TestThermalDelta(t *testing.T) {
+	s := getStudy(t)
+	d, err := s.ThermalDelta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 1.5 {
+		t.Errorf("thermal delta %.2fK, paper: positive and < 1.5K", d)
+	}
+}
+
+func TestRunSingleBenchmark(t *testing.T) {
+	s := getStudy(t)
+	no, err := s.Run("ft.B", "nol3", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := s.Run("ft.B", "lp_dram_ed", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Sim.IPC <= no.Sim.IPC {
+		t.Errorf("ft.B with LP-DRAM L3 (%.2f IPC) must beat nol3 (%.2f)", lp.Sim.IPC, no.Sim.IPC)
+	}
+	if lp.Power.L3Leak <= 0 || no.Power.L3Leak != 0 {
+		t.Error("L3 leakage accounting wrong")
+	}
+	if no.Power.System() <= no.Power.MemoryHierarchy() {
+		t.Error("system power must include the cores")
+	}
+	if lp.EDP >= no.EDP {
+		t.Error("ft.B energy-delay must improve with the LP-DRAM L3")
+	}
+}
+
+func TestRunUnknownInputs(t *testing.T) {
+	s := getStudy(t)
+	if _, err := s.Run("nope", "nol3", 1); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestFiguresShape(t *testing.T) {
+	// A reduced sweep: two benchmarks across all configs, checking
+	// the figure machinery and the qualitative orderings the paper
+	// reports. (The full 8x6 sweep runs in cmd/llcstudy and the
+	// benchmark harness.)
+	s := getStudy(t)
+	runs := map[string]map[string]*RunResult{}
+	for _, bm := range []string{"ft.B", "cg.C"} {
+		runs[bm] = map[string]*RunResult{}
+		for _, cn := range ConfigNames {
+			r, err := s.Run(bm, cn, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs[bm][cn] = r
+		}
+	}
+	f := MakeFigures(runs)
+	if len(f.Fig4) != 12 || len(f.Fig5) != 12 {
+		t.Fatalf("figure points: %d/%d, want 12/12", len(f.Fig4), len(f.Fig5))
+	}
+	for _, p := range f.Fig4 {
+		sum := p.Instruction + p.L2 + p.L3 + p.Memory + p.Barrier + p.Lock
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s/%s breakdown sums to %g", p.Benchmark, p.Config, sum)
+		}
+	}
+	// SRAM must raise memory-hierarchy power the most (leakage).
+	if !(f.MemPowerIncrease["sram"] > f.MemPowerIncrease["lp_dram_ed"] &&
+		f.MemPowerIncrease["lp_dram_ed"] > f.MemPowerIncrease["cm_dram_ed"]) {
+		t.Errorf("power-increase ordering violated: sram %+.2f lp %+.2f cm %+.2f",
+			f.MemPowerIncrease["sram"], f.MemPowerIncrease["lp_dram_ed"], f.MemPowerIncrease["cm_dram_ed"])
+	}
+	// Formatting must not crash and must carry key labels.
+	txt4 := f.FormatFig4()
+	txt5 := f.FormatFig5(runs)
+	if !strings.Contains(txt4, "IPC") || !strings.Contains(txt5, "EDP") {
+		t.Error("figure formatting missing labels")
+	}
+}
+
+func TestPageMappingAnalysis(t *testing.T) {
+	// Section 3.4: for a DRAM LLC, the page hit ratio between
+	// successive requests to a bank is very low under BOTH cache-set
+	// mappings of Figure 3 - the reason the study operates its DRAM
+	// caches with an SRAM-like interface.
+	s := getStudy(t)
+	r, err := s.Run("sp.C", "cm_dram_c", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := r.Sim.Events
+	if ev.L3PageProbes == 0 {
+		t.Fatal("DRAM L3 run recorded no page probes")
+	}
+	setMapped := float64(ev.L3PageHitsSetMapped) / float64(ev.L3PageProbes)
+	striped := float64(ev.L3PageHitsStriped) / float64(ev.L3PageProbes)
+	if setMapped > 0.10 || striped > 0.10 {
+		t.Errorf("page hit ratios %.3f/%.3f; paper expects 'very low' (<10%%)", setMapped, striped)
+	}
+	// SRAM L3 must not record page probes.
+	rs, err := s.Run("sp.C", "sram", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Sim.Events.L3PageProbes != 0 {
+		t.Error("SRAM L3 has no DRAM pages to probe")
+	}
+}
+
+func TestPowerDownExperiment(t *testing.T) {
+	// The paper's conclusion: standby power dominates main-memory
+	// power, so power-down modes should recover a meaningful share
+	// on low-intensity workloads, at a small performance cost.
+	s := getStudy(t)
+	without, with, err := s.PowerDownExperiment("ua.C", "cm_dram_c", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Power.MemStandby >= without.Power.MemStandby {
+		t.Errorf("power-down did not cut standby: %.3fW vs %.3fW",
+			with.Power.MemStandby, without.Power.MemStandby)
+	}
+	saving := 1 - with.Power.MemStandby/without.Power.MemStandby
+	if saving < 0.10 {
+		t.Errorf("standby saving only %.1f%% on a low-intensity workload", saving*100)
+	}
+	// The wakeup latency must not blow up execution time.
+	slowdown := float64(with.Sim.Cycles) / float64(without.Sim.Cycles)
+	if slowdown > 1.10 {
+		t.Errorf("power-down slowed execution by %.1f%%", (slowdown-1)*100)
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	s := getStudy(t)
+	runs := map[string]map[string]*RunResult{}
+	runs["ft.B"] = map[string]*RunResult{}
+	for _, cn := range ConfigNames {
+		r, err := s.Run("ft.B", cn, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs["ft.B"][cn] = r
+	}
+	f := MakeFigures(runs)
+	dir := t.TempDir()
+	if err := ExportCSV(dir, s.Table3(), f, runs); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table3.csv", "fig4.csv", "fig5.csv", "headlines.csv"} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		lines := strings.Count(string(b), "\n")
+		if lines < 2 {
+			t.Errorf("%s has only %d lines", name, lines)
+		}
+	}
+	// fig4.csv: header + 6 configs.
+	b, _ := os.ReadFile(filepath.Join(dir, "fig4.csv"))
+	if got := strings.Count(string(b), "\n"); got != 7 {
+		t.Errorf("fig4.csv lines = %d, want 7", got)
+	}
+	// Round-trip: parse a float back.
+	rd := csv.NewReader(strings.NewReader(string(b)))
+	recs, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strconv.ParseFloat(recs[1][2], 64); err != nil {
+		t.Errorf("ipc field not numeric: %v", err)
+	}
+}
+
+func TestThermalLeakageEquilibrium(t *testing.T) {
+	s := getStudy(t)
+	tempK, leakW, err := s.ThermalLeakageEquilibrium("sram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tempK < 300 || tempK > 400 {
+		t.Fatalf("equilibrium temperature %.1fK implausible", tempK)
+	}
+	// The tables quote leakage at the 358K worst-case corner; a
+	// well-cooled stack runs cooler, so equilibrium leakage must be
+	// consistent with the temperature scale factor.
+	ref := s.L3["sram"].LeakagePower
+	want := ref * tech.LeakageTempScale(tempK)
+	if math.Abs(leakW-want)/want > 1e-3 {
+		t.Errorf("equilibrium leakage %.3fW inconsistent with scale (want %.3f)", leakW, want)
+	}
+	// COMM-DRAM barely heats the stack: its equilibrium temperature
+	// must be at or below SRAM's.
+	tempCM, _, err := s.ThermalLeakageEquilibrium("cm_dram_c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tempCM > tempK {
+		t.Errorf("COMM-DRAM stack hotter than SRAM stack: %.2f vs %.2f", tempCM, tempK)
+	}
+	if _, _, err := s.ThermalLeakageEquilibrium("nope"); err == nil {
+		t.Error("unknown config should error")
+	}
+}
+
+func TestAverageFigures(t *testing.T) {
+	s := getStudy(t)
+	f, err := s.AverageFigures([]uint64{1, 2}, []string{"ft.B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Fig4) != len(ConfigNames) {
+		t.Fatalf("Fig4 points = %d, want %d", len(f.Fig4), len(ConfigNames))
+	}
+	// Averaged breakdowns still sum to ~1.
+	for _, p := range f.Fig4 {
+		sum := p.Instruction + p.L2 + p.L3 + p.Memory + p.Barrier + p.Lock
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s/%s averaged breakdown sums to %g", p.Benchmark, p.Config, sum)
+		}
+	}
+	// Averages lie between the per-seed extremes.
+	f1, err := s.AverageFigures([]uint64{1}, []string{"ft.B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := s.AverageFigures([]uint64{2}, []string{"ft.B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f.Fig4 {
+		lo := math.Min(f1.Fig4[i].IPC, f2.Fig4[i].IPC)
+		hi := math.Max(f1.Fig4[i].IPC, f2.Fig4[i].IPC)
+		if f.Fig4[i].IPC < lo-1e-9 || f.Fig4[i].IPC > hi+1e-9 {
+			t.Errorf("averaged IPC %g outside [%g,%g]", f.Fig4[i].IPC, lo, hi)
+		}
+	}
+	if _, err := s.AverageFigures(nil, nil); err == nil {
+		t.Error("no seeds should error")
+	}
+}
+
+func TestCharts(t *testing.T) {
+	s := getStudy(t)
+	f, err := s.AverageFigures([]uint64{7}, []string{"ft.B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c4 := f.ChartFig4()
+	if !strings.Contains(c4, "Figure 4(a)") || !strings.Contains(c4, "#") {
+		t.Errorf("fig4 chart malformed:\n%s", c4)
+	}
+	c5 := f.ChartFig5()
+	if !strings.Contains(c5, "energy-delay") || !strings.Contains(c5, "nol3") {
+		t.Errorf("fig5 chart malformed:\n%s", c5)
+	}
+	// The nol3 EDP bar must be full width relative to itself... at
+	// minimum every config appears once per benchmark.
+	for _, cn := range ConfigNames {
+		if !strings.Contains(c4, cn) {
+			t.Errorf("fig4 chart missing config %s", cn)
+		}
+	}
+}
+
+func TestEnergiesPerConfig(t *testing.T) {
+	s := getStudy(t)
+	for _, cn := range ConfigNames {
+		e := s.Energies(cn)
+		if e.EL1 <= 0 || e.EL2 <= 0 || e.EXbar <= 0 {
+			t.Errorf("%s: cache energies must be positive", cn)
+		}
+		if e.L1Leak <= 0 || e.L2Leak <= 0 {
+			t.Errorf("%s: cache leakage must be positive", cn)
+		}
+		if e.EMemActivate <= 0 || e.MemStandbyPerChip <= 0 {
+			t.Errorf("%s: memory figures must be positive", cn)
+		}
+		if cn == "nol3" {
+			if e.L3Leak != 0 || e.EL3Read != 0 {
+				t.Error("nol3 must carry no L3 energies")
+			}
+		} else {
+			if e.L3Leak <= 0 || e.EL3Read <= 0 || e.EL3Tag <= 0 {
+				t.Errorf("%s: L3 energies must be positive", cn)
+			}
+		}
+	}
+	// The three technologies order as Table 3 says.
+	if !(s.Energies("sram").L3Leak > s.Energies("lp_dram_ed").L3Leak &&
+		s.Energies("lp_dram_ed").L3Leak > s.Energies("cm_dram_ed").L3Leak) {
+		t.Error("L3 leakage ordering violated in energies")
+	}
+}
+
+func TestSimConfigWiring(t *testing.T) {
+	s := getStudy(t)
+	p := s.SimConfig("cm_dram_c", mustProfile(t, "ft.B"), 1)
+	if p.L3 == nil || p.L3.PageBits != 16384 {
+		t.Fatalf("cm_dram_c page bits = %+v, want 16384", p.L3)
+	}
+	if p.L3.TagCycles <= 0 {
+		t.Error("sequential DRAM cache must pay a tag lookup")
+	}
+	sr := s.SimConfig("sram", mustProfile(t, "ft.B"), 1)
+	if sr.L3.TagCycles != 0 {
+		t.Error("normal-mode SRAM L3 overlaps tag and data (TagCycles 0)")
+	}
+	no := s.SimConfig("nol3", mustProfile(t, "ft.B"), 1)
+	if no.L3 != nil {
+		t.Error("nol3 must have no L3")
+	}
+	// Scaled capacities.
+	if sr.L1Bytes != (32<<10)/s.Scale || sr.L2Bytes != (1<<20)/s.Scale {
+		t.Error("L1/L2 scaling wrong")
+	}
+}
+
+func mustProfile(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	p, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -1,0 +1,65 @@
+package tech
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row is one row of the paper's Table 1 ("Key characteristics of
+// SRAM, LP-DRAM, and COMM-DRAM technologies") rendered from the model.
+type Table1Row struct {
+	Characteristic string
+	SRAM           string
+	LPDRAM         string
+	COMMDRAM       string
+}
+
+// Table1 renders the paper's Table 1 for the given node (the paper
+// quotes projections for 32 nm).
+func Table1(n Node) []Table1Row {
+	t := New(n)
+	s, l, c := t.Cell(SRAM), t.Cell(LPDRAM), t.Cell(COMMDRAM)
+	fmtF2 := func(a float64) string { return fmt.Sprintf("%.0fF^2", a) }
+	fmtV := func(v float64) string { return fmt.Sprintf("%.1f", v) }
+	fmtfF := func(cs float64) string {
+		if cs == 0 {
+			return "N/A"
+		}
+		return fmt.Sprintf("%.0f", cs*1e15)
+	}
+	fmtMs := func(r float64) string {
+		if r > 1e6 {
+			return "N/A"
+		}
+		return fmt.Sprintf("%.2g", r*1e3)
+	}
+	vppOrNA := func(v float64) string {
+		if v == 0 {
+			return "N/A"
+		}
+		return fmtV(v)
+	}
+	return []Table1Row{
+		{"Cell area", fmtF2(s.AreaF2), fmtF2(l.AreaF2), fmtF2(c.AreaF2)},
+		{"Memory cell device type", s.AccessDevice.String(), l.AccessDevice.String(), c.AccessDevice.String()},
+		{"Peripheral/Global circuitry device type", s.PeripheralDevice.String(), l.PeripheralDevice.String(), c.PeripheralDevice.String()},
+		{"Bitline interconnect", s.BitlineMaterial.String(), l.BitlineMaterial.String(), c.BitlineMaterial.String()},
+		{"Back-end-of-line interconnect", "copper", "copper", "copper"},
+		{"Memory cell VDD (V)", fmtV(s.Vdd), fmtV(l.Vdd), fmtV(c.Vdd)},
+		{"DRAM storage capacitance (fF)", "N/A", fmtfF(l.Cs), fmtfF(c.Cs)},
+		{"Boosted wordline voltage VPP (V)", "N/A", vppOrNA(l.Vpp), vppOrNA(c.Vpp)},
+		{"Refresh period (ms)", "N/A", fmtMs(l.RetentionT), fmtMs(c.RetentionT)},
+	}
+}
+
+// FormatTable1 renders Table 1 as aligned text.
+func FormatTable1(n Node) string {
+	rows := Table1(n)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Key characteristics of SRAM, LP-DRAM, and COMM-DRAM technologies (%s)\n", n)
+	fmt.Fprintf(&b, "%-42s %-22s %-22s %-22s\n", "Characteristic", "SRAM", "LP-DRAM", "COMM-DRAM")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-42s %-22s %-22s %-22s\n", r.Characteristic, r.SRAM, r.LPDRAM, r.COMMDRAM)
+	}
+	return b.String()
+}

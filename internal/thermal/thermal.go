@@ -1,0 +1,185 @@
+// Package thermal is a steady-state thermal model of the two-die
+// stack in the LLC study, standing in for the HotSpot tool the paper
+// uses (Section 4.3). It solves a resistive grid: each die is divided
+// into blocks with given power densities; heat flows vertically
+// through the dies, the thermal interface, the heat spreader and sink,
+// and laterally between neighboring blocks. The paper's observation —
+// the maximum temperature difference between L3 technologies is below
+// 1.5 K because even the SRAM L3 burns under ~450 mW per bank — is the
+// behaviour this model reproduces.
+package thermal
+
+import (
+	"errors"
+	"math"
+)
+
+// Layer describes one die (or interposer) in the stack.
+type Layer struct {
+	Name         string
+	Thickness    float64 // m
+	Conductivity float64 // W/(m*K), vertical (silicon ~ 120-150)
+	// Power is the dissipated power per block (W); all layers must
+	// use the same block grid.
+	Power []float64
+}
+
+// StackConfig describes the whole package.
+type StackConfig struct {
+	BlocksX, BlocksY int
+	BlockW, BlockH   float64 // m
+	Layers           []Layer // ordered from heat sink side (bottom) up
+	// SinkResistance is the package+heatsink thermal resistance from
+	// the bottom layer to ambient (K*m^2/W per unit area).
+	SinkResistance float64
+	Ambient        float64 // K
+}
+
+// Result holds per-layer block temperatures.
+type Result struct {
+	Temps [][]float64 // [layer][block] K
+}
+
+// Max returns the maximum temperature of one layer.
+func (r *Result) Max(layer int) float64 {
+	m := math.Inf(-1)
+	for _, t := range r.Temps[layer] {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// MaxOverall returns the hottest block in the stack.
+func (r *Result) MaxOverall() float64 {
+	m := math.Inf(-1)
+	for l := range r.Temps {
+		if v := r.Max(l); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Solve computes the steady-state temperature field with Gauss-Seidel
+// iteration over the thermal resistance network.
+func Solve(cfg StackConfig) (*Result, error) {
+	nb := cfg.BlocksX * cfg.BlocksY
+	if nb <= 0 || len(cfg.Layers) == 0 {
+		return nil, errors.New("thermal: empty configuration")
+	}
+	for _, l := range cfg.Layers {
+		if len(l.Power) != nb {
+			return nil, errors.New("thermal: power grid size mismatch")
+		}
+	}
+	nl := len(cfg.Layers)
+	area := cfg.BlockW * cfg.BlockH
+
+	// Vertical conductances.
+	// sinkG: block to ambient through the sink.
+	sinkG := area / cfg.SinkResistance
+	// interG[l]: between layer l and l+1 (series of half-thicknesses).
+	interG := make([]float64, nl-1)
+	for l := 0; l+1 < nl; l++ {
+		r1 := cfg.Layers[l].Thickness / 2 / (cfg.Layers[l].Conductivity * area)
+		r2 := cfg.Layers[l+1].Thickness / 2 / (cfg.Layers[l+1].Conductivity * area)
+		// Include a bonding/TSV interface resistance.
+		rIf := 2e-6 / (1.0 * area) // 2um of ~1 W/mK interface material
+		interG[l] = 1 / (r1 + r2 + rIf)
+	}
+	// Lateral conductances within a layer.
+	latGx := make([]float64, nl)
+	latGy := make([]float64, nl)
+	for l := range cfg.Layers {
+		k := cfg.Layers[l].Conductivity
+		th := cfg.Layers[l].Thickness
+		latGx[l] = k * th * cfg.BlockH / cfg.BlockW
+		latGy[l] = k * th * cfg.BlockW / cfg.BlockH
+	}
+
+	temps := make([][]float64, nl)
+	for l := range temps {
+		temps[l] = make([]float64, nb)
+		for i := range temps[l] {
+			temps[l][i] = cfg.Ambient
+		}
+	}
+	idx := func(x, y int) int { return y*cfg.BlocksX + x }
+
+	for iter := 0; iter < 20000; iter++ {
+		var maxDelta float64
+		for l := 0; l < nl; l++ {
+			for y := 0; y < cfg.BlocksY; y++ {
+				for x := 0; x < cfg.BlocksX; x++ {
+					i := idx(x, y)
+					gSum := 0.0
+					flux := cfg.Layers[l].Power[i]
+					if l == 0 {
+						gSum += sinkG
+						flux += sinkG * cfg.Ambient
+					}
+					if l > 0 {
+						gSum += interG[l-1]
+						flux += interG[l-1] * temps[l-1][i]
+					}
+					if l+1 < nl {
+						gSum += interG[l]
+						flux += interG[l] * temps[l+1][i]
+					}
+					if x > 0 {
+						gSum += latGx[l]
+						flux += latGx[l] * temps[l][idx(x-1, y)]
+					}
+					if x+1 < cfg.BlocksX {
+						gSum += latGx[l]
+						flux += latGx[l] * temps[l][idx(x+1, y)]
+					}
+					if y > 0 {
+						gSum += latGy[l]
+						flux += latGy[l] * temps[l][idx(x, y-1)]
+					}
+					if y+1 < cfg.BlocksY {
+						gSum += latGy[l]
+						flux += latGy[l] * temps[l][idx(x, y+1)]
+					}
+					next := flux / gSum
+					if d := math.Abs(next - temps[l][i]); d > maxDelta {
+						maxDelta = d
+					}
+					temps[l][i] = next
+				}
+			}
+		}
+		if maxDelta < 1e-7 {
+			break
+		}
+	}
+	return &Result{Temps: temps}, nil
+}
+
+// StackedLLC builds the study's two-die stack: an 8-core die (bottom,
+// toward the sink) topped by the 8-bank L3 die, as a 4x2 block grid
+// per die. corePowerW is the total core-die power; l3PowerPerBankW is
+// the per-bank L3 power (leakage + refresh + dynamic share).
+func StackedLLC(corePowerW, l3PowerPerBankW float64) StackConfig {
+	const bx, by = 4, 2
+	nb := bx * by
+	corePower := make([]float64, nb)
+	l3Power := make([]float64, nb)
+	for i := 0; i < nb; i++ {
+		corePower[i] = corePowerW / float64(nb)
+		l3Power[i] = l3PowerPerBankW
+	}
+	return StackConfig{
+		BlocksX: bx, BlocksY: by,
+		BlockW: 2.5e-3, BlockH: 2.5e-3,
+		Layers: []Layer{
+			{Name: "core-die", Thickness: 150e-6, Conductivity: 130, Power: corePower},
+			{Name: "l3-die", Thickness: 100e-6, Conductivity: 130, Power: l3Power},
+		},
+		SinkResistance: 1.5e-5, // K*m^2/W: ~0.3 K/W for the 50mm^2 die
+		Ambient:        318,    // 45C case ambient
+	}
+}

@@ -1,0 +1,113 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolveBasic(t *testing.T) {
+	cfg := StackedLLC(22.3, 0.45)
+	r, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.MaxOverall(); got <= cfg.Ambient || got > cfg.Ambient+80 {
+		t.Fatalf("max temperature %.1fK implausible (ambient %.1fK)", got, cfg.Ambient)
+	}
+	// The L3 die (farther from the sink) must be at least as hot as
+	// its own contribution implies, and hotter than ambient.
+	if r.Max(1) < r.Max(0)-1 {
+		t.Errorf("stacked die should not be much cooler than the core die: %.2f vs %.2f", r.Max(1), r.Max(0))
+	}
+}
+
+func TestDeltaAcrossL3Technologies(t *testing.T) {
+	// The paper: max power per L3 bank is ~450mW (SRAM with sleep
+	// transistors); COMM-DRAM banks burn a few mW. The temperature
+	// difference across technologies is under 1.5K.
+	hot, err1 := Solve(StackedLLC(22.3, 0.45))
+	cold, err2 := Solve(StackedLLC(22.3, 0.005))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	delta := hot.MaxOverall() - cold.MaxOverall()
+	if delta <= 0 {
+		t.Fatalf("hotter L3 must raise the stack temperature (delta=%.3f)", delta)
+	}
+	if delta > 1.5 {
+		t.Errorf("delta %.2fK exceeds the paper's <1.5K observation", delta)
+	}
+}
+
+func TestPowerRaisesTemperature(t *testing.T) {
+	lo, _ := Solve(StackedLLC(10, 0.1))
+	hi, _ := Solve(StackedLLC(40, 0.1))
+	if hi.MaxOverall() <= lo.MaxOverall() {
+		t.Error("4x core power should raise temperature")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Solve(StackConfig{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	bad := StackedLLC(20, 0.4)
+	bad.Layers[0].Power = bad.Layers[0].Power[:3]
+	if _, err := Solve(bad); err == nil {
+		t.Error("grid mismatch should fail")
+	}
+}
+
+func TestZeroPowerIsAmbient(t *testing.T) {
+	cfg := StackedLLC(0, 0)
+	r, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.MaxOverall()-cfg.Ambient) > 0.01 {
+		t.Errorf("zero power should settle at ambient, got %.2f", r.MaxOverall())
+	}
+}
+
+func TestThreeLayerStack(t *testing.T) {
+	// Generic capability: a 3-die stack (core + two memory dies).
+	base := StackedLLC(22.3, 0.2)
+	mem2 := make([]float64, len(base.Layers[1].Power))
+	for i := range mem2 {
+		mem2[i] = 0.05
+	}
+	base.Layers = append(base.Layers, Layer{
+		Name: "mem2-die", Thickness: 100e-6, Conductivity: 130, Power: mem2,
+	})
+	r, err := Solve(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The farthest die from the sink runs hottest or equal.
+	if r.Max(2) < r.Max(0)-0.5 {
+		t.Errorf("top die %.2fK much cooler than bottom %.2fK", r.Max(2), r.Max(0))
+	}
+	if r.MaxOverall() <= base.Ambient {
+		t.Error("powered stack must sit above ambient")
+	}
+}
+
+func TestLateralSpreading(t *testing.T) {
+	// A single hot block must heat its neighbors: the spatial
+	// temperature spread stays bounded by lateral conduction.
+	cfg := StackedLLC(0, 0)
+	cfg.Layers[0].Power[0] = 10 // one hot corner block
+	r, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := r.Temps[0][0]
+	neighbor := r.Temps[0][1]
+	far := r.Temps[0][len(r.Temps[0])-1]
+	if !(hot > neighbor && neighbor > far) {
+		t.Errorf("temperature field not decaying: %.2f / %.2f / %.2f", hot, neighbor, far)
+	}
+	if far <= cfg.Ambient {
+		t.Error("heat must spread to the far corner")
+	}
+}

@@ -1,0 +1,111 @@
+package validate
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestXeonValidation(t *testing.T) {
+	r, err := Xeon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Solutions) < 5 {
+		t.Fatalf("constraint sweep produced only %d solutions", len(r.Solutions))
+	}
+	if len(r.Targets) != 2 {
+		t.Fatal("Figure 1 has two target bubbles (two quoted dynamic powers)")
+	}
+	// The paper claims ~20% average error for the best-access
+	// solution; hold this reproduction to 25%.
+	if r.AvgError > 0.25 {
+		t.Errorf("Xeon average error %.1f%% exceeds 25%%", r.AvgError*100)
+	}
+	// The sweep must expose tradeoffs: solutions should not all be
+	// identical in power.
+	minP, maxP := math.Inf(1), 0.0
+	for _, s := range r.Solutions {
+		minP = math.Min(minP, s.Power)
+		maxP = math.Max(maxP, s.Power)
+	}
+	if maxP/minP < 1.02 {
+		t.Error("constraint sweep produced no power spread")
+	}
+}
+
+func TestSPARCValidation(t *testing.T) {
+	r, err := SPARC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AvgError > 0.25 {
+		t.Errorf("SPARC average error %.1f%% exceeds 25%%", r.AvgError*100)
+	}
+}
+
+func TestMicronTable2(t *testing.T) {
+	rows, chip, err := Micron()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chip == nil || len(rows) != 8 {
+		t.Fatalf("Table 2 must have 8 rows, got %d", len(rows))
+	}
+	// Every row must be within the larger of 20% or the paper's own
+	// error magnitude + 5 points.
+	for _, r := range rows {
+		bound := math.Max(0.20, math.Abs(r.PaperError)+0.05)
+		if e := math.Abs(r.Error()); e > bound {
+			t.Errorf("%s: error %.1f%% exceeds bound %.1f%%", r.Metric, e*100, bound*100)
+		}
+	}
+	// Overall: at least as good as the paper's reported 16% average.
+	if avg := AvgAbsError(rows); avg > 0.16 {
+		t.Errorf("average |error| %.1f%% exceeds the paper's 16%%", avg*100)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	rows, _, err := Micron()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormatTable2(rows)
+	for _, want := range []string{"tRCD", "ACTIVATE", "Refresh", "Average"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 output missing %q", want)
+		}
+	}
+	x, err := Xeon()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := FormatBubbles(x)
+	if !strings.Contains(fb, "target") || !strings.Contains(fb, "Figure 1") {
+		t.Error("bubble output malformed")
+	}
+}
+
+func TestEDRAMMacroValidation(t *testing.T) {
+	r, err := EDRAMMacro()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Published compilable eDRAM macros: ~1.7ns latency, per-bank
+	// row cycle around 8ns. Hold the model to 40% average error.
+	if r.AvgError > 0.40 {
+		t.Errorf("eDRAM macro average error %.1f%% exceeds 40%% (acc %.2fns, row cycle %.2fns)",
+			r.AvgError*100, r.AccessTime*1e9, r.RandomCycle*1e9)
+	}
+	// The macro's 500MHz (2ns) effective operation must be
+	// achievable through multisubbank interleaving.
+	if r.InterleaveCycle > edramEffectiveCycle {
+		t.Errorf("interleave cycle %.2fns cannot sustain 500MHz", r.InterleaveCycle*1e9)
+	}
+	// The destructive-readout random cycle must exceed the
+	// interleaved cycle (that is the point of multibank operation).
+	if r.RandomCycle <= r.InterleaveCycle {
+		t.Error("random cycle should exceed the interleave cycle")
+	}
+}
