@@ -1,0 +1,23 @@
+# Tier-1 verify is `go build ./... && go test ./...` (ROADMAP.md);
+# `make verify` runs that plus vet and the race detector over the
+# concurrent packages (the exploration engine and the solver it leans
+# on).
+
+.PHONY: verify build test vet race bench-sweep
+
+verify: vet build test race
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+vet:
+	go vet ./...
+
+race:
+	go test -race ./internal/explore ./internal/core ./cmd/cactid-serve
+
+bench-sweep:
+	go test -run '^$$' -bench BenchmarkExploreSweep -benchmem .

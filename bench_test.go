@@ -18,12 +18,15 @@
 package cactid
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
 	"cactid/internal/array"
 	"cactid/internal/core"
 	"cactid/internal/dram"
+	"cactid/internal/explore"
 	"cactid/internal/mat"
 	"cactid/internal/sim/stats"
 	"cactid/internal/study"
@@ -198,6 +201,73 @@ func BenchmarkDRAMChip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// sweepSpecs is a 64-point SRAM cache grid (4 capacities x 4
+// associativities x 2 block sizes x 2 access modes) for the
+// exploration-engine benchmarks.
+func sweepSpecs(b *testing.B) []core.Spec {
+	b.Helper()
+	g := explore.Grid{
+		Base: core.Spec{Node: tech.Node32, RAM: tech.SRAM, IsCache: true,
+			MaxPipelineStages: 6},
+		Capacities: []int64{32 << 10, 64 << 10, 128 << 10, 256 << 10},
+		Assocs:     []int{1, 2, 4, 8},
+		Blocks:     []int{32, 64},
+		Modes:      []core.AccessMode{core.Normal, core.Sequential},
+	}
+	specs, skipped := g.Expand()
+	if len(specs) != 64 || skipped != 0 {
+		b.Fatalf("grid expanded to %d specs, %d skipped", len(specs), skipped)
+	}
+	return specs
+}
+
+func checkSweep(b *testing.B, results []explore.Result) {
+	b.Helper()
+	for _, r := range results {
+		if r.Err != nil || r.Solution == nil {
+			b.Fatalf("point %d failed: %v", r.Index, r.Err)
+		}
+	}
+}
+
+// BenchmarkExploreSweep measures the batch engine over the 64-point
+// grid: serial vs parallel worker pools, cold vs warm result cache.
+// The warm case is the zero-solver-call path every repeated or
+// overlapping sweep takes.
+func BenchmarkExploreSweep(b *testing.B) {
+	specs := sweepSpecs(b)
+	ctx := context.Background()
+	b.Run("serial-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e := explore.New(explore.Options{Workers: 1})
+			checkSweep(b, e.Sweep(ctx, specs))
+		}
+		b.ReportMetric(float64(len(specs)), "points/op")
+	})
+	b.Run("parallel-cold", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			e := explore.New(explore.Options{Workers: workers})
+			checkSweep(b, e.Sweep(ctx, specs))
+		}
+		b.ReportMetric(float64(len(specs)), "points/op")
+	})
+	b.Run("parallel-warm", func(b *testing.B) {
+		e := explore.New(explore.Options{})
+		checkSweep(b, e.Sweep(ctx, specs)) // fill the cache
+		before := e.Stats().Solves
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			checkSweep(b, e.Sweep(ctx, specs))
+		}
+		b.StopTimer()
+		if e.Stats().Solves != before {
+			b.Fatal("warm sweep re-ran the solver")
+		}
+		b.ReportMetric(float64(len(specs)), "points/op")
+	})
 }
 
 func BenchmarkSimulator(b *testing.B) {

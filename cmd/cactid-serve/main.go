@@ -1,0 +1,72 @@
+// Command cactid-serve exposes the CACTI-D exploration engine
+// (internal/explore) as a stdlib-only HTTP/JSON service, so sweeps
+// and solves can be batched from any client without a Go toolchain:
+//
+//	cactid-serve -addr :8080 -timeout 60s -max-inflight 32
+//
+//	curl -s localhost:8080/v1/solve -d '{"ram":"sram","capacity":"4MB","associativity":8}'
+//	curl -s localhost:8080/v1/sweep -d '{"base":{"ram":"lp-dram","mode":"seq"},
+//	      "capacities":["16MB","32MB","64MB"],"associativities":[4,8]}'
+//	curl -s 'localhost:8080/v1/pareto?format=csv' -d @sweep.json
+//	curl -s localhost:8080/metrics
+//
+// Endpoints:
+//
+//	POST /v1/solve   one spec -> the optimized solution (same JSON as `cactid -json`)
+//	POST /v1/sweep   a parameter grid -> one result per point, deterministic order
+//	POST /v1/pareto  a parameter grid -> only the Pareto-optimal points
+//	GET  /healthz    liveness probe
+//	GET  /metrics    request counts, cache hit ratio, in-flight gauge, latency histogram
+//
+// Repeated and overlapping requests hit the fingerprint-keyed result
+// cache instead of re-running the solver; concurrent identical
+// requests are deduplicated in flight. Requests beyond -max-inflight
+// are rejected with 503 rather than queued, and SIGINT/SIGTERM drain
+// in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "per-request time budget")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 32, "max concurrently served /v1 requests (excess gets 503)")
+	flag.IntVar(&cfg.maxPoints, "max-points", 4096, "largest accepted sweep grid")
+	flag.IntVar(&cfg.workers, "workers", 0, "solver pool size (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           newServer(cfg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("cactid-serve listening on %s", cfg.addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

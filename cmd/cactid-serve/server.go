@@ -1,0 +1,310 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"cactid/internal/core"
+	"cactid/internal/explore"
+)
+
+// config collects the serving knobs.
+type config struct {
+	addr        string
+	timeout     time.Duration // per-request budget
+	maxInFlight int           // bound on concurrently served /v1 requests
+	maxPoints   int           // largest accepted sweep grid
+	workers     int           // solver pool size (0 = GOMAXPROCS)
+
+	// solver overrides core.Optimize; tests inject slow or counting
+	// solvers through it.
+	solver func(core.Spec) (*core.Solution, error)
+}
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram; requests slower than the last bound land in +Inf.
+const nLatencyBuckets = 13
+
+var latencyBuckets = [nLatencyBuckets]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics are the expvar-style counters surfaced on /metrics. All
+// fields are updated atomically; the handler publishes a consistent-
+// enough snapshot without locks.
+type metrics struct {
+	requests  [nEndpoints]atomic.Int64
+	errors    atomic.Int64 // 4xx/5xx responses
+	rejected  atomic.Int64 // 503s from the concurrency bound
+	inFlight  atomic.Int64
+	histogram [nLatencyBuckets + 1]atomic.Int64
+	latSumNS  atomic.Int64
+	latCount  atomic.Int64
+}
+
+type endpoint int
+
+const (
+	epSolve endpoint = iota
+	epSweep
+	epPareto
+	epHealthz
+	epMetrics
+	nEndpoints
+)
+
+func (e endpoint) String() string {
+	return [nEndpoints]string{"solve", "sweep", "pareto", "healthz", "metrics"}[e]
+}
+
+func (m *metrics) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for ; i < len(latencyBuckets); i++ {
+		if sec <= latencyBuckets[i] {
+			break
+		}
+	}
+	m.histogram[i].Add(1)
+	m.latSumNS.Add(int64(d))
+	m.latCount.Add(1)
+}
+
+// server is the cactid-serve HTTP API: the exploration engine behind
+// per-request timeouts and a bounded-concurrency gate.
+type server struct {
+	eng     *explore.Engine
+	cfg     config
+	sem     chan struct{}
+	mux     *http.ServeMux
+	metrics metrics
+}
+
+func newServer(cfg config) *server {
+	if cfg.timeout <= 0 {
+		cfg.timeout = 60 * time.Second
+	}
+	if cfg.maxInFlight <= 0 {
+		cfg.maxInFlight = 32
+	}
+	if cfg.maxPoints <= 0 {
+		cfg.maxPoints = 4096
+	}
+	s := &server{
+		eng: explore.New(explore.Options{Workers: cfg.workers, Solver: cfg.solver}),
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.maxInFlight),
+		mux: http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.gated(epSolve, s.handleSolve))
+	s.mux.HandleFunc("POST /v1/sweep", s.gated(epSweep, s.handleSweep))
+	s.mux.HandleFunc("POST /v1/pareto", s.gated(epPareto, s.handlePareto))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// gated wraps a /v1 handler with the request counters, the
+// concurrency bound, the per-request timeout and latency recording.
+func (s *server) gated(ep endpoint, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.requests[ep].Add(1)
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.metrics.rejected.Add(1)
+			s.metrics.errors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"server at capacity"}`, http.StatusServiceUnavailable)
+			return
+		}
+		defer func() { <-s.sem }()
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.timeout)
+		defer cancel()
+		start := time.Now()
+		err := h(w, r.WithContext(ctx))
+		s.metrics.observe(time.Since(start))
+		if err != nil {
+			s.metrics.errors.Add(1)
+			s.writeError(w, err)
+		}
+	}
+}
+
+// httpError carries a status code chosen by the handler.
+type httpError struct {
+	status int
+	err    error
+}
+
+func (e httpError) Error() string { return e.err.Error() }
+
+func badRequest(err error) error { return httpError{http.StatusBadRequest, err} }
+
+func (s *server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, core.ErrNoSolution):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func decode[T any](r *http.Request) (T, error) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, badRequest(fmt.Errorf("bad request body: %w", err))
+	}
+	return v, nil
+}
+
+// handleSolve optimizes one spec. The response body is byte-identical
+// to `cactid -json` for the same spec.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) error {
+	req, err := decode[explore.SpecRequest](r)
+	if err != nil {
+		return err
+	}
+	spec, err := req.Spec()
+	if err != nil {
+		return badRequest(err)
+	}
+	sol, cached, err := s.eng.Solve(r.Context(), spec)
+	if err != nil {
+		if errors.Is(err, core.ErrNoSolution) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return err
+		}
+		return badRequest(err) // invalid spec
+	}
+	out, err := json.MarshalIndent(explore.SolutionJSON(sol), "", "  ")
+	if err != nil {
+		return err
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cactid-Cached", fmt.Sprintf("%t", cached))
+	w.Write(append(out, '\n'))
+	return nil
+}
+
+// sweepGrid decodes and bounds a sweep request, returning the results
+// plus skipped-point count.
+func (s *server) sweepGrid(r *http.Request) ([]explore.Result, int, error) {
+	req, err := decode[explore.SweepRequest](r)
+	if err != nil {
+		return nil, 0, err
+	}
+	grid, err := req.Grid()
+	if err != nil {
+		return nil, 0, badRequest(err)
+	}
+	if n := grid.Points(); n > s.cfg.maxPoints {
+		return nil, 0, badRequest(fmt.Errorf("grid has %d points, limit %d", n, s.cfg.maxPoints))
+	}
+	results, skipped := s.eng.SweepGrid(r.Context(), grid)
+	if err := r.Context().Err(); err != nil {
+		return nil, 0, err
+	}
+	return results, skipped, nil
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) error {
+	results, skipped, err := s.sweepGrid(r)
+	if err != nil {
+		return err
+	}
+	return writeResults(w, r, results, skipped, len(results))
+}
+
+func (s *server) handlePareto(w http.ResponseWriter, r *http.Request) error {
+	results, skipped, err := s.sweepGrid(r)
+	if err != nil {
+		return err
+	}
+	swept := len(results)
+	return writeResults(w, r, explore.Frontier(results), skipped, swept)
+}
+
+// writeResults renders a result set as CSV (?format=csv) or as a JSON
+// envelope whose entries carry the same fields as /v1/solve.
+func writeResults(w http.ResponseWriter, r *http.Request, results []explore.Result, skipped, swept int) error {
+	if r.URL.Query().Get("format") == "csv" {
+		w.Header().Set("Content-Type", "text/csv")
+		return explore.WriteCSV(w, results)
+	}
+	arr := make([]map[string]any, len(results))
+	for i, res := range results {
+		arr[i] = explore.ResultJSON(res)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(map[string]any{
+		"points":  swept,
+		"skipped": skipped,
+		"results": arr,
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epHealthz].Add(1)
+	w.Write([]byte("ok\n"))
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epMetrics].Add(1)
+	st := s.eng.Stats()
+	reqs := map[string]int64{}
+	for ep := endpoint(0); ep < nEndpoints; ep++ {
+		reqs[ep.String()] = s.metrics.requests[ep].Load()
+	}
+	buckets := make([]map[string]any, 0, len(latencyBuckets)+1)
+	cum := int64(0)
+	for i, ub := range latencyBuckets {
+		cum += s.metrics.histogram[i].Load()
+		buckets = append(buckets, map[string]any{"le": ub, "count": cum})
+	}
+	cum += s.metrics.histogram[len(latencyBuckets)].Load()
+	buckets = append(buckets, map[string]any{"le": "+Inf", "count": cum})
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(map[string]any{
+		"requests":        reqs,
+		"responses_error": s.metrics.errors.Load(),
+		"rejected_busy":   s.metrics.rejected.Load(),
+		"in_flight":       s.metrics.inFlight.Load(),
+		"cache": map[string]any{
+			"solves":        st.Solves,
+			"cache_hits":    st.CacheHits,
+			"cache_entries": st.CacheEntries,
+			"hit_ratio":     st.HitRatio(),
+		},
+		"request_latency_seconds": map[string]any{
+			"count":   s.metrics.latCount.Load(),
+			"sum":     float64(s.metrics.latSumNS.Load()) / 1e9,
+			"buckets": buckets,
+		},
+	})
+}

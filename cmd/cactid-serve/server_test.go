@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cactid/internal/array"
+	"cactid/internal/core"
+	"cactid/internal/explore"
+)
+
+func newTestServer(t *testing.T, cfg config) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(newServer(cfg))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func TestSolveMatchesCLIJSON(t *testing.T) {
+	ts := newTestServer(t, config{})
+	req := `{"ram":"sram","capacity":"64KB","associativity":4,"block_bytes":64,"node_nm":32}`
+	resp, body := post(t, ts.URL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// The reference: what `cactid -json` prints for the same spec.
+	spec, err := explore.SpecRequest{RAM: "sram", Capacity: "64KB", Associativity: 4,
+		BlockBytes: 64, NodeNM: 32}.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Optimize(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(explore.SolutionJSON(sol), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(body, want) {
+		t.Fatalf("solve body differs from cactid -json:\ngot:\n%s\nwant:\n%s", body, want)
+	}
+	if resp.Header.Get("X-Cactid-Cached") != "false" {
+		t.Error("first solve should not be cached")
+	}
+
+	// Second identical request is served from the cache, same bytes.
+	resp2, body2 := post(t, ts.URL+"/v1/solve", req)
+	if resp2.Header.Get("X-Cactid-Cached") != "true" {
+		t.Error("second solve should be cached")
+	}
+	if !bytes.Equal(body2, want) {
+		t.Error("cached solve body differs")
+	}
+}
+
+func TestSweepEndpoint(t *testing.T) {
+	ts := newTestServer(t, config{})
+	req := `{"base":{"ram":"sram","node_nm":32,"block_bytes":64,"associativity":2},
+	         "capacities":["32KB","64KB","128KB"]}`
+	resp, body := post(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Points  int              `json:"points"`
+		Skipped int              `json:"skipped"`
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Points != 3 || env.Skipped != 0 || len(env.Results) != 3 {
+		t.Fatalf("envelope %d/%d/%d, want 3/0/3", env.Points, env.Skipped, len(env.Results))
+	}
+	// Each point carries the same fields as /v1/solve.
+	for _, r := range env.Results {
+		for _, key := range []string{"access_time_s", "read_energy_j", "leakage_w",
+			"area_m2", "fingerprint", "index", "cached"} {
+			if _, ok := r[key]; !ok {
+				t.Fatalf("result missing %q: %v", key, r)
+			}
+		}
+	}
+	if env.Results[0]["capacity_bytes"].(float64) != 32<<10 {
+		t.Error("sweep order not deterministic: first point should be 32KB")
+	}
+
+	// CSV rendering of the same sweep.
+	respCSV, csvBody := post(t, ts.URL+"/v1/sweep?format=csv", req)
+	if respCSV.StatusCode != http.StatusOK || !strings.HasPrefix(string(csvBody), "index,fingerprint,ram,") {
+		t.Fatalf("csv sweep failed: %d %s", respCSV.StatusCode, csvBody[:min(80, len(csvBody))])
+	}
+	if got := strings.Count(strings.TrimSpace(string(csvBody)), "\n"); got != 3 {
+		t.Fatalf("csv has %d data rows, want 3", got)
+	}
+}
+
+func TestParetoEndpoint(t *testing.T) {
+	ts := newTestServer(t, config{})
+	req := `{"base":{"ram":"sram","node_nm":32,"block_bytes":64},
+	         "capacities":["32KB","64KB"],"associativities":[1,4],"modes":["normal","seq"]}`
+	resp, body := post(t, ts.URL+"/v1/pareto", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var env struct {
+		Points  int              `json:"points"`
+		Results []map[string]any `json:"results"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Points != 8 {
+		t.Fatalf("swept %d points, want 8", env.Points)
+	}
+	if len(env.Results) == 0 || len(env.Results) >= env.Points {
+		t.Fatalf("frontier size %d of %d", len(env.Results), env.Points)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	ts := newTestServer(t, config{maxPoints: 4})
+	cases := []struct {
+		name, path, body string
+		want             int
+	}{
+		{"malformed-json", "/v1/solve", `{"ram":`, http.StatusBadRequest},
+		{"unknown-field", "/v1/solve", `{"rum":"sram"}`, http.StatusBadRequest},
+		{"bad-ram", "/v1/solve", `{"ram":"flash","capacity":"1MB"}`, http.StatusBadRequest},
+		{"bad-size", "/v1/solve", `{"ram":"sram","capacity":"-1MB"}`, http.StatusBadRequest},
+		{"zero-capacity", "/v1/solve", `{"ram":"sram"}`, http.StatusBadRequest},
+		{"no-solution", "/v1/solve", `{"ram":"comm-dram","capacity":"1MB","page_bits":7,"cache":false}`,
+			http.StatusUnprocessableEntity},
+		{"grid-too-big", "/v1/sweep", `{"base":{"ram":"sram"},"capacities":["1MB","2MB","4MB"],
+			"associativities":[1,2]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, ts.URL+tc.path, tc.body)
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
+			}
+			var e map[string]string
+			if err := json.Unmarshal(body, &e); err != nil || e["error"] == "" {
+				t.Fatalf("error body not JSON: %s", body)
+			}
+		})
+	}
+	// Wrong method on a POST route.
+	resp, _ := get(t, ts.URL+"/v1/solve")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	ts := newTestServer(t, config{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestMetricsReportCacheAndLatency(t *testing.T) {
+	ts := newTestServer(t, config{})
+	req := `{"ram":"sram","capacity":"32KB","associativity":2}`
+	post(t, ts.URL+"/v1/solve", req)
+	post(t, ts.URL+"/v1/solve", req) // cache hit
+	_, body := get(t, ts.URL+"/metrics")
+
+	var m struct {
+		Requests map[string]int64 `json:"requests"`
+		Cache    struct {
+			Solves   int64   `json:"solves"`
+			Hits     int64   `json:"cache_hits"`
+			HitRatio float64 `json:"hit_ratio"`
+		} `json:"cache"`
+		Latency struct {
+			Count   int64            `json:"count"`
+			Sum     float64          `json:"sum"`
+			Buckets []map[string]any `json:"buckets"`
+		} `json:"request_latency_seconds"`
+		InFlight int64 `json:"in_flight"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics not JSON: %v\n%s", err, body)
+	}
+	if m.Requests["solve"] != 2 || m.Requests["metrics"] != 1 {
+		t.Fatalf("request counts %v", m.Requests)
+	}
+	if m.Cache.Solves != 1 || m.Cache.Hits != 1 || m.Cache.HitRatio != 0.5 {
+		t.Fatalf("cache counters %+v", m.Cache)
+	}
+	if m.Latency.Count != 2 || m.Latency.Sum <= 0 {
+		t.Fatalf("latency histogram %+v", m.Latency)
+	}
+	last := m.Latency.Buckets[len(m.Latency.Buckets)-1]
+	if last["le"] != "+Inf" || int64(last["count"].(float64)) != 2 {
+		t.Fatalf("+Inf bucket %v", last)
+	}
+	if m.InFlight != 0 {
+		t.Fatalf("in_flight %d after quiesce", m.InFlight)
+	}
+}
+
+func TestConcurrencyBoundRejectsExcess(t *testing.T) {
+	slow := func(spec core.Spec) (*core.Solution, error) {
+		time.Sleep(150 * time.Millisecond)
+		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
+	}
+	ts := newTestServer(t, config{maxInFlight: 1, solver: slow})
+
+	const n = 4
+	codes := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct capacities: no in-flight dedup between them.
+			body := fmt.Sprintf(`{"ram":"sram","capacity":"%dKB","cache":false}`, 32<<i)
+			resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp.Body.Close()
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	ok, busy := 0, 0
+	for _, c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			busy++
+		}
+	}
+	if ok == 0 || busy == 0 || ok+busy != n {
+		t.Fatalf("codes %v: want a mix of 200s and 503s", codes)
+	}
+
+	_, body := get(t, ts.URL+"/metrics")
+	var m struct {
+		Rejected int64 `json:"rejected_busy"`
+	}
+	if err := json.Unmarshal(body, &m); err != nil || m.Rejected != int64(busy) {
+		t.Fatalf("rejected_busy = %d, want %d", m.Rejected, busy)
+	}
+}
+
+func TestPerRequestTimeout(t *testing.T) {
+	stuck := func(spec core.Spec) (*core.Solution, error) {
+		time.Sleep(300 * time.Millisecond)
+		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
+	}
+	ts := newTestServer(t, config{timeout: 30 * time.Millisecond, solver: stuck})
+	// A sweep checks its context after solving; the deadline surfaces
+	// as 504.
+	resp, body := post(t, ts.URL+"/v1/sweep",
+		`{"base":{"ram":"sram"},"capacities":["32KB","64KB"]}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", resp.StatusCode, body)
+	}
+}

@@ -17,50 +17,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"cactid/internal/core"
 	"cactid/internal/dram"
+	"cactid/internal/explore"
 	"cactid/internal/tech"
 )
 
-func parseSize(s string) (int64, error) {
-	s = strings.TrimSpace(s)
-	mult := int64(1)
-	up := strings.ToUpper(s)
-	switch {
-	case strings.HasSuffix(up, "GB"):
-		mult, s = 1<<30, s[:len(s)-2]
-	case strings.HasSuffix(up, "MB"):
-		mult, s = 1<<20, s[:len(s)-2]
-	case strings.HasSuffix(up, "KB"):
-		mult, s = 1<<10, s[:len(s)-2]
-	case strings.HasSuffix(up, "GB8"), strings.HasSuffix(up, "GB"):
-		mult, s = 1<<30, s[:len(s)-2]
-	case strings.HasSuffix(up, "GBIT"), strings.HasSuffix(up, "G"):
-		mult, s = 1<<30/8, strings.TrimSuffix(strings.TrimSuffix(s, "bit"), "G")
-	case strings.HasSuffix(up, "B"):
-		s = s[:len(s)-1]
-	}
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		return 0, fmt.Errorf("bad size %q", s)
-	}
-	return int64(v * float64(mult)), nil
-}
+// parseSize, parseRAM and parseMode delegate to the shared parsers in
+// internal/explore so the CLI and the cactid-serve HTTP API accept
+// exactly the same vocabulary (and reject the same garbage: zero,
+// negative and overflowing sizes included).
+func parseSize(s string) (int64, error) { return explore.ParseSize(s) }
 
-func parseRAM(s string) (tech.RAMType, error) {
-	switch strings.ToLower(s) {
-	case "sram":
-		return tech.SRAM, nil
-	case "lp-dram", "lpdram", "lp":
-		return tech.LPDRAM, nil
-	case "comm-dram", "commdram", "comm", "cm":
-		return tech.COMMDRAM, nil
-	}
-	return 0, fmt.Errorf("unknown RAM type %q (sram, lp-dram, comm-dram)", s)
-}
+func parseRAM(s string) (tech.RAMType, error) { return explore.ParseRAM(s) }
+
+func parseMode(s string) (core.AccessMode, error) { return explore.ParseMode(s) }
 
 func main() {
 	var (
@@ -78,7 +50,7 @@ func main() {
 		maxAcc  = flag.Float64("maxacctime", 0.1, "max access time constraint")
 		slack   = flag.Float64("repeaterslack", 0, "max repeater delay slack")
 		sleep   = flag.Bool("sleep", false, "model sleep transistors")
-		explore = flag.Bool("explore", false, "print the full solution space")
+		doExplore = flag.Bool("explore", false, "print the full solution space")
 		report  = flag.Bool("report", false, "print the detailed CACTI-style breakdown")
 		asJSON  = flag.Bool("json", false, "print the solution as JSON")
 		table1  = flag.Bool("table1", false, "print the Table 1 technology characteristics")
@@ -130,12 +102,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	am := core.Normal
-	switch {
-	case strings.HasPrefix(strings.ToLower(*mode), "seq"):
-		am = core.Sequential
-	case strings.HasPrefix(strings.ToLower(*mode), "fast"):
-		am = core.Fast
+	am, err := parseMode(*mode)
+	if err != nil {
+		fatal(err)
 	}
 	spec := core.Spec{
 		Node: tech.Node(*node), RAM: ramType,
@@ -146,7 +115,7 @@ func main() {
 		MaxAreaConstraint: *maxArea, MaxAcctimeConstraint: *maxAcc,
 		MaxRepeaterSlack: *slack, SleepTransistors: *sleep,
 	}
-	if *explore {
+	if *doExplore {
 		sols, err := core.Explore(spec)
 		if err != nil {
 			fatal(err)
@@ -166,7 +135,7 @@ func main() {
 		return
 	}
 	if *asJSON {
-		out, err := json.MarshalIndent(solutionJSON(sol), "", "  ")
+		out, err := json.MarshalIndent(explore.SolutionJSON(sol), "", "  ")
 		if err != nil {
 			fatal(err)
 		}
@@ -183,35 +152,6 @@ func main() {
 	if sol.Tag != nil {
 		fmt.Printf("  tag array: %v\n", sol.Tag.Org)
 	}
-}
-
-// solutionJSON flattens a solution into the fields scripts consume.
-func solutionJSON(s *core.Solution) map[string]any {
-	m := map[string]any{
-		"ram":                s.Spec.RAM.String(),
-		"node_nm":            int(s.Spec.Node),
-		"capacity_bytes":     s.Spec.CapacityBytes,
-		"block_bytes":        s.Spec.BlockBytes,
-		"associativity":      s.Spec.Associativity,
-		"banks":              s.Spec.Banks,
-		"access_mode":        s.Spec.Mode.String(),
-		"access_time_s":      s.AccessTime,
-		"random_cycle_s":     s.RandomCycle,
-		"interleave_cycle_s": s.InterleaveCycle,
-		"area_m2":            s.Area,
-		"bank_area_m2":       s.BankArea,
-		"area_efficiency":    s.AreaEff,
-		"read_energy_j":      s.EReadPerAccess,
-		"write_energy_j":     s.EWritePerAccess,
-		"leakage_w":          s.LeakagePower,
-		"refresh_w":          s.RefreshPower,
-		"data_organization":  s.Data.Org.String(),
-		"pipeline_stages":    s.Data.PipelineStages,
-	}
-	if s.Tag != nil {
-		m["tag_organization"] = s.Tag.Org.String()
-	}
-	return m
 }
 
 func fatal(err error) {

@@ -3,6 +3,7 @@ package main
 import (
 	"testing"
 
+	"cactid/internal/core"
 	"cactid/internal/tech"
 )
 
@@ -15,6 +16,8 @@ func TestParseSize(t *testing.T) {
 		"2GB":   2 << 30,
 		"1.5MB": 3 << 19,
 		"8kb":   8 << 10,
+		"1G":    1 << 30 / 8, // gigabit, for -chip capacities
+		"2Gbit": 2 << 30 / 8,
 	}
 	for in, want := range cases {
 		got, err := parseSize(in)
@@ -26,10 +29,33 @@ func TestParseSize(t *testing.T) {
 			t.Errorf("parseSize(%q) = %d, want %d", in, got, want)
 		}
 	}
-	for _, bad := range []string{"", "abc", "12XB", "MB"} {
-		if _, err := parseSize(bad); err == nil {
-			t.Errorf("parseSize(%q) should fail", bad)
-		}
+}
+
+func TestParseSizeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"letters", "abc"},
+		{"bad-suffix", "12XB"},
+		{"suffix-only", "MB"},
+		{"double-suffix", "4MBKB"},
+		{"zero", "0"},
+		{"zero-with-suffix", "0MB"},
+		{"negative", "-1"},
+		{"negative-with-suffix", "-4KB"},
+		{"overflow-float", "1e30GB"},
+		{"overflow-mult", "99999999999GB"},
+		{"overflow-int64", "9223372036854775807KB"},
+		{"nan", "NaNMB"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, err := parseSize(tc.in); err == nil {
+				t.Errorf("parseSize(%q) = %d, want error", tc.in, got)
+			}
+		})
 	}
 }
 
@@ -45,7 +71,38 @@ func TestParseRAM(t *testing.T) {
 			t.Errorf("parseRAM(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	if _, err := parseRAM("flash"); err == nil {
-		t.Error("unknown RAM type should fail")
+}
+
+func TestParseRAMErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"unknown", "flash"},
+		{"ambiguous", "dram"},
+		{"typo", "sramm"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := parseRAM(tc.in); err == nil {
+				t.Errorf("parseRAM(%q) should fail", tc.in)
+			}
+		})
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]core.AccessMode{
+		"normal": core.Normal, "seq": core.Sequential,
+		"sequential": core.Sequential, "fast": core.Fast,
+	}
+	for in, want := range cases {
+		if got, err := parseMode(in); err != nil || got != want {
+			t.Errorf("parseMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseMode("warp"); err == nil {
+		t.Error("unknown mode should fail")
 	}
 }

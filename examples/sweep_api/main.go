@@ -1,0 +1,100 @@
+// Sweep via the HTTP API: run a capacity x technology sweep against a
+// running cactid-serve and print the Pareto frontier. Start the
+// server first:
+//
+//	go run ./cmd/cactid-serve &
+//	go run ./examples/sweep_api
+//	go run ./examples/sweep_api -addr http://localhost:8080 -local=false
+//
+// With -local (the default) the same sweep also runs in-process
+// through internal/explore, demonstrating that the API and the
+// library return identical design points.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"cactid/internal/explore"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "cactid-serve base URL")
+	local := flag.Bool("local", true, "also run the sweep in-process and compare")
+	flag.Parse()
+
+	// An L3-sized sweep: three technologies, four capacities, two
+	// associativities — 24 design points, one HTTP request.
+	req := explore.SweepRequest{
+		Base: explore.SpecRequest{
+			NodeNM:            32,
+			BlockBytes:        64,
+			Mode:              "seq",
+			MaxPipelineStages: 6,
+		},
+		RAMs:            []string{"sram", "lp-dram", "comm-dram"},
+		Capacities:      []string{"8MB", "16MB", "32MB", "64MB"},
+		Associativities: []int{8, 16},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Minute}
+	resp, err := client.Post(*addr+"/v1/pareto", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatalf("POST /v1/pareto: %v (is cactid-serve running? go run ./cmd/cactid-serve)", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("server returned %s: %s", resp.Status, e["error"])
+	}
+	var env struct {
+		Points  int `json:"points"`
+		Skipped int `json:"skipped"`
+		Results []struct {
+			RAM        string  `json:"ram"`
+			Capacity   int64   `json:"capacity_bytes"`
+			Assoc      int     `json:"associativity"`
+			AccessTime float64 `json:"access_time_s"`
+			ReadEnergy float64 `json:"read_energy_j"`
+			Leakage    float64 `json:"leakage_w"`
+			Area       float64 `json:"area_m2"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("swept %d points (%d skipped); Pareto frontier over {access, energy, leakage, area}:\n",
+		env.Points, env.Skipped)
+	fmt.Println("  ram        capacity  assoc  access(ns)  read(nJ)  leak(W)  area(mm2)")
+	for _, r := range env.Results {
+		fmt.Printf("  %-9s %6dMB  %5d  %10.2f  %8.3f  %7.2f  %9.1f\n",
+			r.RAM, r.Capacity>>20, r.Assoc,
+			r.AccessTime*1e9, r.ReadEnergy*1e9, r.Leakage, r.Area*1e6)
+	}
+
+	if !*local {
+		return
+	}
+	// The same sweep through the library: identical frontier.
+	grid, err := req.Grid()
+	if err != nil {
+		log.Fatal(err)
+	}
+	eng := explore.New(explore.Options{})
+	results, _ := eng.SweepGrid(context.Background(), grid)
+	frontier := explore.Frontier(results)
+	fmt.Printf("in-process sweep agrees: %d frontier points (server: %d), cache now holds %d entries\n",
+		len(frontier), len(env.Results), eng.Stats().CacheEntries)
+}

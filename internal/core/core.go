@@ -229,10 +229,33 @@ func (s *Spec) TagBits() int {
 	return tag
 }
 
+// orgLess is a total order over internal organizations, used to break
+// ties deterministically wherever solutions are sorted on a float
+// metric: rows, then columns, then column-mux degree, then subbank
+// count, then mats per subbank (the codebase's equivalent of classic
+// CACTI's Ndwl/Ndbl/Nspd triple).
+func orgLess(a, b array.Org) bool {
+	if a.Rows != b.Rows {
+		return a.Rows < b.Rows
+	}
+	if a.Cols != b.Cols {
+		return a.Cols < b.Cols
+	}
+	if a.Mux != b.Mux {
+		return a.Mux < b.Mux
+	}
+	if a.Subbanks != b.Subbanks {
+		return a.Subbanks < b.Subbanks
+	}
+	return a.MatsPerSubbank < b.MatsPerSubbank
+}
+
 // Explore enumerates every feasible solution for spec, without
 // applying the optimization constraints. The returned slice is sorted
-// by access time. This is the raw design space behind Figure 1's
-// bubble chart.
+// by access time, with exact ties broken by the data organization
+// (orgLess), so the order is a deterministic function of the spec —
+// parallel and repeated callers see identical slices. This is the raw
+// design space behind Figure 1's bubble chart.
 func Explore(spec Spec) ([]*Solution, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
@@ -281,7 +304,12 @@ func Explore(spec Spec) ([]*Solution, error) {
 	for _, b := range banks {
 		sols = append(sols, assemble(spec, b, tag))
 	}
-	sort.Slice(sols, func(i, j int) bool { return sols[i].AccessTime < sols[j].AccessTime })
+	sort.Slice(sols, func(i, j int) bool {
+		if sols[i].AccessTime != sols[j].AccessTime {
+			return sols[i].AccessTime < sols[j].AccessTime
+		}
+		return orgLess(sols[i].Data.Org, sols[j].Data.Org)
+	})
 	return sols, nil
 }
 
@@ -336,9 +364,18 @@ func Filter(spec Spec, sols []*Solution) []*Solution {
 		minI = math.Min(minI, s.InterleaveCycle)
 	}
 	w := *spec.Weights
+	obj := make(map[*Solution]float64, len(pass2))
+	for _, s := range pass2 {
+		obj[s] = s.objective(w, minE, minL, minC, minI)
+	}
 	sort.Slice(pass2, func(i, j int) bool {
-		return pass2[i].objective(w, minE, minL, minC, minI) <
-			pass2[j].objective(w, minE, minL, minC, minI)
+		if obj[pass2[i]] != obj[pass2[j]] {
+			return obj[pass2[i]] < obj[pass2[j]]
+		}
+		if pass2[i].AccessTime != pass2[j].AccessTime {
+			return pass2[i].AccessTime < pass2[j].AccessTime
+		}
+		return orgLess(pass2[i].Data.Org, pass2[j].Data.Org)
 	})
 	return pass2
 }
@@ -368,7 +405,10 @@ func optimizeTag(spec Spec, t *tech.Technology) (*array.Bank, error) {
 	// Tags want latency: best access time within 10% of best area...
 	// use the same staged filter with cycle-heavy weights.
 	sort.Slice(banks, func(i, j int) bool {
-		return banks[i].AccessTime < banks[j].AccessTime
+		if banks[i].AccessTime != banks[j].AccessTime {
+			return banks[i].AccessTime < banks[j].AccessTime
+		}
+		return orgLess(banks[i].Org, banks[j].Org)
 	})
 	return banks[0], nil
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Canonical returns a copy of the spec with every defaulted field
+// resolved to its effective value: banks/associativity/ports floored
+// at 1, optimization constraints and weights filled in, the tag RAM
+// technology resolved (nil TagRAM means "same as data" for DRAM
+// caches, SRAM otherwise) and cleared for plain memories. Two specs
+// that drive the solver identically canonicalise to the same value,
+// which is what Fingerprint hashes. It returns an error for specs the
+// solver would reject.
+func (s Spec) Canonical() (Spec, error) {
+	c := s
+	if err := c.normalize(); err != nil {
+		return Spec{}, err
+	}
+	if c.Ports <= 0 {
+		c.Ports = 1
+	}
+	// Detach pointer fields so the canonical spec shares no storage
+	// with the input.
+	w := *c.Weights
+	c.Weights = &w
+	if c.IsCache {
+		r := c.tagRAM()
+		c.TagRAM = &r
+	} else {
+		// Plain memories have no tag array: the field cannot affect
+		// the solution.
+		c.TagRAM = nil
+	}
+	return c, nil
+}
+
+// Fingerprint returns a canonical, normalisation-stable hash of the
+// spec: two specs that differ only in defaulted fields (zero banks vs
+// 1 bank, nil weights vs DefaultWeights, nil TagRAM vs its resolved
+// technology, ...) fingerprint identically, and any field change that
+// can alter the solver's answer changes the fingerprint. The result
+// is a fixed-length hex string suitable as a cache or dedup key.
+func (s Spec) Fingerprint() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "node=%d|ram=%d|cap=%d|blk=%d|assoc=%d|banks=%d|",
+		int(c.Node), int(c.RAM), c.CapacityBytes, c.BlockBytes, c.Associativity, c.Banks)
+	fmt.Fprintf(h, "cache=%t|mode=%d|", c.IsCache, int(c.Mode))
+	tag := -1
+	if c.TagRAM != nil {
+		tag = int(*c.TagRAM)
+	}
+	fmt.Fprintf(h, "tag=%d|page=%d|pipe=%d|", tag, c.PageBits, c.MaxPipelineStages)
+	fmt.Fprintf(h, "area=%.17g|acc=%.17g|slack=%.17g|", c.MaxAreaConstraint, c.MaxAcctimeConstraint, c.MaxRepeaterSlack)
+	fmt.Fprintf(h, "w=%.17g,%.17g,%.17g,%.17g|", c.Weights.DynamicEnergy, c.Weights.LeakagePower,
+		c.Weights.RandomCycle, c.Weights.InterleaveCycle)
+	fmt.Fprintf(h, "sleep=%t|ports=%d|ecc=%t|route=%t|pa=%d",
+		c.SleepTransistors, c.Ports, c.ECC, c.IncludeBankRouting, c.PhysicalAddressBits)
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:16]), nil
+}

@@ -1,0 +1,86 @@
+package explore
+
+import (
+	"sync"
+
+	"cactid/internal/core"
+)
+
+// numShards spreads fingerprint keys over independently locked maps
+// so a parallel sweep doesn't serialize on one mutex.
+const numShards = 32
+
+// entry is one cached (or in-flight) solve. ready is closed when sol
+// and err are final; until then, other callers of the same
+// fingerprint block on it instead of duplicating the solver call
+// (singleflight-style dedup).
+type entry struct {
+	ready chan struct{}
+	sol   *core.Solution
+	err   error
+}
+
+type cacheShard struct {
+	mu sync.Mutex
+	m  map[string]*entry
+}
+
+// Cache is a sharded solution cache keyed by core.Spec fingerprints.
+// A Cache may be shared by several Engines (and is safe for
+// concurrent use); the zero value is not usable, call NewCache.
+type Cache struct {
+	shards [numShards]cacheShard
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]*entry)
+	}
+	return c
+}
+
+// fnv-1a over the fingerprint selects the shard.
+func (c *Cache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h%numShards]
+}
+
+// lookup returns the entry for key, creating it if absent. created
+// reports whether this caller owns the solve: it must fill the entry
+// and close ready exactly once.
+func (c *Cache) lookup(key string) (e *entry, created bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.m[key]; ok {
+		return e, false
+	}
+	e = &entry{ready: make(chan struct{})}
+	sh.m[key] = e
+	return e, true
+}
+
+// forget removes key, releasing waiters-to-come to recompute. Used
+// when the owning solve is abandoned before producing a result.
+func (c *Cache) forget(key string) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// Len returns the number of cached (including in-flight) entries.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].m)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,188 @@
+package explore
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cactid/internal/core"
+)
+
+// Options configures an Engine. The zero value is usable: GOMAXPROCS
+// workers, a fresh cache, core.Optimize as the solver.
+type Options struct {
+	// Workers bounds sweep concurrency; 0 means GOMAXPROCS.
+	Workers int
+	// Cache lets several engines share one result cache; nil makes a
+	// private one.
+	Cache *Cache
+	// Solver replaces core.Optimize (tests inject counting or
+	// slow solvers).
+	Solver func(core.Spec) (*core.Solution, error)
+}
+
+// Engine runs solver jobs through a bounded worker pool with a
+// fingerprint-keyed result cache and in-flight deduplication. All
+// methods are safe for concurrent use.
+type Engine struct {
+	cache   *Cache
+	workers int
+	solver  func(core.Spec) (*core.Solution, error)
+
+	solves atomic.Int64 // solver invocations (cache misses)
+	hits   atomic.Int64 // results served from cache or an in-flight solve
+}
+
+// New returns an Engine with the given options.
+func New(opts Options) *Engine {
+	e := &Engine{cache: opts.Cache, workers: opts.Workers, solver: opts.Solver}
+	if e.cache == nil {
+		e.cache = NewCache()
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.GOMAXPROCS(0)
+	}
+	if e.solver == nil {
+		e.solver = core.Optimize
+	}
+	return e
+}
+
+// Result is one evaluated sweep point. Err is non-nil when the spec
+// was invalid, admitted no solution, or the sweep was cancelled
+// before reaching it.
+type Result struct {
+	Index       int
+	Spec        core.Spec
+	Fingerprint string
+	Solution    *core.Solution
+	Cached      bool
+	Err         error
+}
+
+// Solve optimizes one spec through the cache: repeated and concurrent
+// calls for fingerprint-equal specs run the solver once. cached
+// reports whether the result existed (or was already being computed)
+// before this call.
+func (e *Engine) Solve(ctx context.Context, spec core.Spec) (sol *core.Solution, cached bool, err error) {
+	fp, err := spec.Fingerprint()
+	if err != nil {
+		return nil, false, err
+	}
+	return e.solve(ctx, spec, fp)
+}
+
+func (e *Engine) solve(ctx context.Context, spec core.Spec, fp string) (*core.Solution, bool, error) {
+	ent, created := e.cache.lookup(fp)
+	if !created {
+		select {
+		case <-ent.ready:
+			e.hits.Add(1)
+			return ent.sol, true, ent.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled before solving: drop the entry so later callers
+		// recompute, and fail any waiter already parked on it.
+		e.cache.forget(fp)
+		ent.err = err
+		close(ent.ready)
+		return nil, false, err
+	}
+	e.solves.Add(1)
+	ent.sol, ent.err = e.solver(spec)
+	close(ent.ready)
+	return ent.sol, false, ent.err
+}
+
+// Sweep evaluates every spec on the worker pool and returns one
+// Result per input, in input order — so the output is a deterministic
+// function of the job list regardless of worker count or completion
+// order. Specs the grid planner produced in error (or that admit no
+// solution) surface as per-point Errs; a cancelled context marks the
+// unfinished tail with ctx.Err().
+func (e *Engine) Sweep(ctx context.Context, specs []core.Spec) []Result {
+	results := make([]Result, len(specs))
+	workers := e.workers
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				spec := specs[i]
+				r := Result{Index: i, Spec: spec}
+				if fp, err := spec.Fingerprint(); err != nil {
+					r.Err = err
+				} else {
+					r.Fingerprint = fp
+					r.Solution, r.Cached, r.Err = e.solve(ctx, spec, fp)
+				}
+				results[i] = r
+			}
+		}()
+	}
+	sent := 0
+dispatch:
+	for ; sent < len(specs); sent++ {
+		select {
+		case jobs <- sent:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	for i := sent; i < len(specs); i++ {
+		results[i] = Result{Index: i, Spec: specs[i], Err: ctx.Err()}
+	}
+	return results
+}
+
+// SweepGrid expands the grid and sweeps it.
+func (e *Engine) SweepGrid(ctx context.Context, g Grid) (results []Result, skipped int) {
+	specs, skipped := g.Expand()
+	return e.Sweep(ctx, specs), skipped
+}
+
+// Pareto sweeps the specs and returns only the Pareto-optimal points
+// over {access time, read energy, leakage power, area}, in sweep
+// order.
+func (e *Engine) Pareto(ctx context.Context, specs []core.Spec) []Result {
+	return Frontier(e.Sweep(ctx, specs))
+}
+
+// Stats is a snapshot of the engine's cache counters.
+type Stats struct {
+	Solves       int64 `json:"solves"`
+	CacheHits    int64 `json:"cache_hits"`
+	CacheEntries int   `json:"cache_entries"`
+}
+
+// HitRatio returns hits / (hits + solves), 0 when idle.
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.Solves
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
+}
+
+// Stats returns the current counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Solves:       e.solves.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheEntries: e.cache.Len(),
+	}
+}

@@ -1,0 +1,280 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cactid/internal/core"
+	"cactid/internal/tech"
+)
+
+// testGrid is a 64-point SRAM grid of small, fast-to-solve caches:
+// 4 capacities x 4 associativities x 2 block sizes x 2 modes.
+func testGrid() Grid {
+	return Grid{
+		Base: core.Spec{Node: tech.Node32, RAM: tech.SRAM, IsCache: true,
+			MaxPipelineStages: 6},
+		Capacities: []int64{32 << 10, 64 << 10, 128 << 10, 256 << 10},
+		Assocs:     []int{1, 2, 4, 8},
+		Blocks:     []int{32, 64},
+		Modes:      []core.AccessMode{core.Normal, core.Sequential},
+	}
+}
+
+func TestGridExpandDeterministicOrder(t *testing.T) {
+	g := testGrid()
+	if got := g.Points(); got != 64 {
+		t.Fatalf("Points = %d, want 64", got)
+	}
+	a, skipA := g.Expand()
+	b, skipB := g.Expand()
+	if skipA != 0 || skipB != 0 {
+		t.Fatalf("unexpected skips: %d, %d", skipA, skipB)
+	}
+	if len(a) != 64 || len(b) != 64 {
+		t.Fatalf("expanded %d/%d specs, want 64", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("expansion not deterministic at %d", i)
+		}
+	}
+	// Axis-major order: the last axis (mode) toggles fastest.
+	if a[0].Mode != core.Normal || a[1].Mode != core.Sequential {
+		t.Error("mode axis should toggle fastest")
+	}
+	if a[0].CapacityBytes != 32<<10 || a[63].CapacityBytes != 256<<10 {
+		t.Error("capacity axis should be outermost of the varied axes")
+	}
+}
+
+func TestGridExpandSkipsInfeasiblePoints(t *testing.T) {
+	g := Grid{
+		Base:       core.Spec{Node: tech.Node32, RAM: tech.SRAM, BlockBytes: 64, IsCache: true},
+		Capacities: []int64{1000, 64 << 10}, // 1000 not divisible by 3 banks
+		Banks:      []int{1, 3},
+		Assocs:     []int{1},
+	}
+	specs, skipped := g.Expand()
+	// 1000B: %1 ok but <64*1... 1000/1 >= 64 so feasible; %3 != 0 skip.
+	// 64KB: ok with 1 bank; 64K%3 != 0 skip.
+	if len(specs) != 2 || skipped != 2 {
+		t.Fatalf("got %d specs, %d skipped; want 2, 2", len(specs), skipped)
+	}
+	// A point with fewer than one set per bank is dropped too.
+	g2 := Grid{Base: core.Spec{RAM: tech.SRAM, BlockBytes: 64, Associativity: 16, CapacityBytes: 512}}
+	if specs, skipped := g2.Expand(); len(specs) != 0 || skipped != 1 {
+		t.Fatalf("sub-set point kept: %d specs, %d skipped", len(specs), skipped)
+	}
+}
+
+// countingSolver wraps a fake solver and counts invocations.
+func countingSolver(delay time.Duration) (*atomic.Int64, func(core.Spec) (*core.Solution, error)) {
+	var n atomic.Int64
+	return &n, func(spec core.Spec) (*core.Solution, error) {
+		n.Add(1)
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return &core.Solution{Spec: spec, AccessTime: float64(spec.CapacityBytes)}, nil
+	}
+}
+
+func TestSolveCachesFingerprintEqualSpecs(t *testing.T) {
+	n, solver := countingSolver(0)
+	e := New(Options{Solver: solver})
+	ctx := context.Background()
+
+	a := core.Spec{RAM: tech.SRAM, CapacityBytes: 1 << 20, BlockBytes: 64, IsCache: true, Associativity: 8}
+	b := a
+	b.Banks = 1 // defaulted field spelled out: same fingerprint
+	b.Weights = &core.Weights{DynamicEnergy: 1, LeakagePower: 1, RandomCycle: 1, InterleaveCycle: 1}
+
+	if _, cached, err := e.Solve(ctx, a); err != nil || cached {
+		t.Fatalf("first solve: cached=%v err=%v", cached, err)
+	}
+	if _, cached, err := e.Solve(ctx, b); err != nil || !cached {
+		t.Fatalf("fingerprint-equal solve not cached: cached=%v err=%v", cached, err)
+	}
+	if got := n.Load(); got != 1 {
+		t.Fatalf("solver ran %d times, want 1", got)
+	}
+	st := e.Stats()
+	if st.Solves != 1 || st.CacheHits != 1 || st.CacheEntries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %g, want 0.5", st.HitRatio())
+	}
+}
+
+func TestWarmSweepDoesZeroSolverCalls(t *testing.T) {
+	n, solver := countingSolver(0)
+	e := New(Options{Workers: 4, Solver: solver})
+	specs, _ := testGrid().Expand()
+
+	cold := e.Sweep(context.Background(), specs)
+	coldSolves := n.Load()
+	if coldSolves != int64(len(specs)) {
+		t.Fatalf("cold sweep ran solver %d times for %d points", coldSolves, len(specs))
+	}
+	warm := e.Sweep(context.Background(), specs)
+	if got := n.Load(); got != coldSolves {
+		t.Fatalf("warm sweep ran the solver %d more times", got-coldSolves)
+	}
+	for i, r := range warm {
+		if !r.Cached || r.Err != nil {
+			t.Fatalf("warm point %d: cached=%v err=%v", i, r.Cached, r.Err)
+		}
+		if r.Solution != cold[i].Solution {
+			t.Fatalf("warm point %d returned a different solution", i)
+		}
+	}
+}
+
+func TestParallelSweepMatchesSerialByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-solver sweep")
+	}
+	specs, skipped := testGrid().Expand()
+	if len(specs) < 64 || skipped != 0 {
+		t.Fatalf("grid expanded to %d specs (%d skipped), want >= 64", len(specs), skipped)
+	}
+	serial := New(Options{Workers: 1}).Sweep(context.Background(), specs)
+	parallel := New(Options{Workers: 8}).Sweep(context.Background(), specs)
+
+	var bufS, bufP bytes.Buffer
+	if err := WriteCSV(&bufS, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&bufP, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bufS.Bytes(), bufP.Bytes()) {
+		t.Fatal("parallel sweep CSV differs from serial")
+	}
+	var jS, jP bytes.Buffer
+	if err := WriteJSON(&jS, serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&jP, parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jS.Bytes(), jP.Bytes()) {
+		t.Fatal("parallel sweep JSON differs from serial")
+	}
+}
+
+func TestSweepRecordsPerPointErrors(t *testing.T) {
+	e := New(Options{Workers: 2})
+	specs := []core.Spec{
+		{RAM: tech.SRAM, CapacityBytes: 64 << 10, BlockBytes: 64, Node: tech.Node32},
+		{RAM: tech.COMMDRAM, CapacityBytes: 1 << 20, BlockBytes: 64, PageBits: 7, Node: tech.Node32}, // no solution
+		{RAM: tech.SRAM, CapacityBytes: -1, BlockBytes: 64}, // invalid spec
+	}
+	res := e.Sweep(context.Background(), specs)
+	if res[0].Err != nil || res[0].Solution == nil {
+		t.Fatalf("point 0 should solve: %v", res[0].Err)
+	}
+	if !errors.Is(res[1].Err, core.ErrNoSolution) {
+		t.Fatalf("point 1 err = %v, want ErrNoSolution", res[1].Err)
+	}
+	if res[2].Err == nil || res[2].Fingerprint != "" {
+		t.Fatal("invalid spec must error without a fingerprint")
+	}
+	// Failures are cached (negative caching): re-sweeping stays warm.
+	before := e.Stats().Solves
+	res2 := e.Sweep(context.Background(), specs)
+	if e.Stats().Solves != before {
+		t.Fatal("re-sweep recomputed points")
+	}
+	if !errors.Is(res2[1].Err, core.ErrNoSolution) || !res2[1].Cached {
+		t.Fatal("cached failure lost its error")
+	}
+}
+
+func TestSweepCancellation(t *testing.T) {
+	n, solver := countingSolver(5 * time.Millisecond)
+	e := New(Options{Workers: 1, Solver: solver})
+	specs, _ := testGrid().Expand()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := e.Sweep(ctx, specs)
+	if got := n.Load(); got > 2 {
+		t.Fatalf("cancelled sweep still ran %d solves", got)
+	}
+	tail := 0
+	for _, r := range res {
+		if errors.Is(r.Err, context.Canceled) {
+			tail++
+		}
+	}
+	if tail < len(specs)-2 {
+		t.Fatalf("only %d/%d points marked cancelled", tail, len(specs))
+	}
+}
+
+func TestInFlightDedup(t *testing.T) {
+	n, solver := countingSolver(20 * time.Millisecond)
+	e := New(Options{Solver: solver})
+	spec := core.Spec{RAM: tech.SRAM, CapacityBytes: 1 << 20, BlockBytes: 64}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, cached, err := e.Solve(context.Background(), spec)
+			if err != nil {
+				t.Error(err)
+			}
+			if cached {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := n.Load(); got != 1 {
+		t.Fatalf("solver ran %d times under concurrency, want 1", got)
+	}
+	if hits.Load() != callers-1 {
+		t.Fatalf("%d callers reported cached, want %d", hits.Load(), callers-1)
+	}
+}
+
+func TestSharedCacheAcrossEngines(t *testing.T) {
+	cache := NewCache()
+	n1, s1 := countingSolver(0)
+	n2, s2 := countingSolver(0)
+	e1 := New(Options{Cache: cache, Solver: s1})
+	e2 := New(Options{Cache: cache, Solver: s2})
+	spec := core.Spec{RAM: tech.SRAM, CapacityBytes: 1 << 20, BlockBytes: 64}
+	if _, _, err := e1.Solve(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, cached, err := e2.Solve(context.Background(), spec); err != nil || !cached {
+		t.Fatalf("shared cache missed: cached=%v err=%v", cached, err)
+	}
+	if n1.Load() != 1 || n2.Load() != 0 {
+		t.Fatalf("solver calls %d/%d, want 1/0", n1.Load(), n2.Load())
+	}
+}
+
+func TestEngineDefaultSolver(t *testing.T) {
+	e := New(Options{})
+	sol, cached, err := e.Solve(context.Background(),
+		core.Spec{Node: tech.Node32, RAM: tech.SRAM, CapacityBytes: 64 << 10, BlockBytes: 64})
+	if err != nil || cached || sol == nil {
+		t.Fatalf("default solver failed: %v", err)
+	}
+	if sol.AccessTime <= 0 || sol.Area <= 0 {
+		t.Fatalf("implausible solution %+v", sol)
+	}
+}

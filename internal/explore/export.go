@@ -1,0 +1,134 @@
+package explore
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"io"
+	"strconv"
+
+	"cactid/internal/core"
+)
+
+// SolutionJSON flattens a solution into the fields scripts consume.
+// cmd/cactid -json and cactid-serve both emit exactly this shape, so
+// the HTTP API and the CLI are byte-compatible for the same spec.
+func SolutionJSON(s *core.Solution) map[string]any {
+	m := map[string]any{
+		"ram":                s.Spec.RAM.String(),
+		"node_nm":            int(s.Spec.Node),
+		"capacity_bytes":     s.Spec.CapacityBytes,
+		"block_bytes":        s.Spec.BlockBytes,
+		"associativity":      s.Spec.Associativity,
+		"banks":              s.Spec.Banks,
+		"access_mode":        s.Spec.Mode.String(),
+		"access_time_s":      s.AccessTime,
+		"random_cycle_s":     s.RandomCycle,
+		"interleave_cycle_s": s.InterleaveCycle,
+		"area_m2":            s.Area,
+		"bank_area_m2":       s.BankArea,
+		"area_efficiency":    s.AreaEff,
+		"read_energy_j":      s.EReadPerAccess,
+		"write_energy_j":     s.EWritePerAccess,
+		"leakage_w":          s.LeakagePower,
+		"refresh_w":          s.RefreshPower,
+		"data_organization":  s.Data.Org.String(),
+		"pipeline_stages":    s.Data.PipelineStages,
+	}
+	if s.Tag != nil {
+		m["tag_organization"] = s.Tag.Org.String()
+	}
+	return m
+}
+
+// ResultJSON is SolutionJSON plus the sweep bookkeeping fields; for
+// errored points it carries the spec identity and the error instead
+// of metrics.
+func ResultJSON(r Result) map[string]any {
+	var m map[string]any
+	if r.Err != nil || r.Solution == nil {
+		m = map[string]any{
+			"ram":            r.Spec.RAM.String(),
+			"node_nm":        int(r.Spec.Node),
+			"capacity_bytes": r.Spec.CapacityBytes,
+			"block_bytes":    r.Spec.BlockBytes,
+			"associativity":  r.Spec.Associativity,
+			"banks":          r.Spec.Banks,
+			"access_mode":    r.Spec.Mode.String(),
+		}
+		if r.Err != nil {
+			m["error"] = r.Err.Error()
+		}
+	} else {
+		m = SolutionJSON(r.Solution)
+	}
+	m["index"] = r.Index
+	m["cached"] = r.Cached
+	if r.Fingerprint != "" {
+		m["fingerprint"] = r.Fingerprint
+	}
+	return m
+}
+
+// WriteJSON writes the sweep results as an indented JSON array in
+// sweep order.
+func WriteJSON(w io.Writer, results []Result) error {
+	arr := make([]map[string]any, len(results))
+	for i, r := range results {
+		arr[i] = ResultJSON(r)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(arr)
+}
+
+// csvHeader is the fixed column set of WriteCSV.
+var csvHeader = []string{
+	"index", "fingerprint", "ram", "node_nm", "capacity_bytes",
+	"block_bytes", "associativity", "banks", "access_mode",
+	"access_time_s", "random_cycle_s", "interleave_cycle_s",
+	"area_m2", "area_efficiency", "read_energy_j", "write_energy_j",
+	"leakage_w", "refresh_w", "data_organization", "pipeline_stages",
+	"cached", "error",
+}
+
+func fg(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCSV writes one row per sweep point, in sweep order, mirroring
+// internal/study's CSV exports. Errored points keep their spec
+// columns and fill the error column.
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	records := make([][]string, 0, len(results)+1)
+	records = append(records, csvHeader)
+	for _, r := range results {
+		rec := []string{
+			strconv.Itoa(r.Index), r.Fingerprint,
+			r.Spec.RAM.String(), strconv.Itoa(int(r.Spec.Node)),
+			strconv.FormatInt(r.Spec.CapacityBytes, 10),
+			strconv.Itoa(r.Spec.BlockBytes), strconv.Itoa(r.Spec.Associativity),
+			strconv.Itoa(r.Spec.Banks), r.Spec.Mode.String(),
+		}
+		if r.Solution != nil {
+			s := r.Solution
+			rec = append(rec,
+				fg(s.AccessTime), fg(s.RandomCycle), fg(s.InterleaveCycle),
+				fg(s.Area), fg(s.AreaEff), fg(s.EReadPerAccess), fg(s.EWritePerAccess),
+				fg(s.LeakagePower), fg(s.RefreshPower),
+				s.Data.Org.String(), strconv.Itoa(s.Data.PipelineStages))
+		} else {
+			rec = append(rec, "", "", "", "", "", "", "", "", "", "", "")
+		}
+		rec = append(rec, strconv.FormatBool(r.Cached))
+		if r.Err != nil {
+			rec = append(rec, r.Err.Error())
+		} else {
+			rec = append(rec, "")
+		}
+		records = append(records, rec)
+	}
+	if err := cw.WriteAll(records); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
