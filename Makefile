@@ -1,9 +1,9 @@
 # Tier-1 verify is `go build ./... && go test ./...` (ROADMAP.md);
 # `make verify` runs that plus vet and the race detector over the
-# concurrent packages (the exploration engine and the solver it leans
-# on).
+# concurrent packages (the exploration engine, the parallel
+# organization enumeration, the memoized tech tables, and the server).
 
-.PHONY: verify build test vet race bench-sweep
+.PHONY: verify build test vet race bench bench-sweep
 
 verify: vet build test race
 
@@ -17,7 +17,13 @@ vet:
 	go vet ./...
 
 race:
-	go test -race ./internal/explore ./internal/core ./cmd/cactid-serve
+	go test -race ./internal/explore ./internal/core ./internal/array ./internal/tech ./cmd/cactid-serve
+
+# bench runs the single-solve hot-path benchmark (BENCH_solve.json
+# tracks its before/after numbers; compare runs with
+# golang.org/x/perf/cmd/benchstat if available).
+bench:
+	go test -run '^$$' -bench BenchmarkSolve -benchmem -count=5 .
 
 bench-sweep:
 	go test -run '^$$' -bench BenchmarkExploreSweep -benchmem .

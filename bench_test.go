@@ -19,7 +19,9 @@ package cactid
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -187,6 +189,53 @@ func BenchmarkSolverOptimize(b *testing.B) {
 		if _, err := core.Optimize(spec); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// solveSpecs are the representative single-solve workloads tracked in
+// BENCH_solve.json: an SRAM cache, a sequential-mode COMM-DRAM cache
+// (the LLC study's configuration style) and a plain COMM-DRAM memory,
+// each at 45 and 32 nm.
+func solveSpecs() map[string]core.Spec {
+	specs := map[string]core.Spec{}
+	for _, node := range []tech.Node{tech.Node45, tech.Node32} {
+		specs[fmt.Sprintf("sram-cache-%d", node)] = core.Spec{
+			Node: node, RAM: tech.SRAM, CapacityBytes: 4 << 20,
+			BlockBytes: 64, Associativity: 8, IsCache: true,
+		}
+		specs[fmt.Sprintf("dram-cache-seq-%d", node)] = core.Spec{
+			Node: node, RAM: tech.COMMDRAM, CapacityBytes: 64 << 20,
+			BlockBytes: 64, Associativity: 8, IsCache: true,
+			Mode: core.Sequential, PageBits: 8192, MaxPipelineStages: 6,
+		}
+		specs[fmt.Sprintf("dram-plain-%d", node)] = core.Spec{
+			Node: node, RAM: tech.COMMDRAM, CapacityBytes: 64 << 20,
+			BlockBytes: 64, PageBits: 8192,
+		}
+	}
+	return specs
+}
+
+// BenchmarkSolve measures one cold core.Optimize call — the cost of
+// every /v1/solve request and every cold-cache sweep cell. Run with
+// `make bench` for benchstat-ready output.
+func BenchmarkSolve(b *testing.B) {
+	specs := solveSpecs()
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		spec := specs[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Optimize(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

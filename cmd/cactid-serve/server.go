@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sync/atomic"
 	"time"
 
@@ -20,10 +22,11 @@ type config struct {
 	maxInFlight int           // bound on concurrently served /v1 requests
 	maxPoints   int           // largest accepted sweep grid
 	workers     int           // solver pool size (0 = GOMAXPROCS)
+	pprof       bool          // expose net/http/pprof under /debug/pprof/
 
-	// solver overrides core.Optimize; tests inject slow or counting
-	// solvers through it.
-	solver func(core.Spec) (*core.Solution, error)
+	// solver overrides core.OptimizeContext; tests inject slow or
+	// counting solvers through it.
+	solver func(context.Context, core.Spec) (*core.Solution, error)
 }
 
 // latencyBuckets are the upper bounds (seconds) of the solve-latency
@@ -106,6 +109,14 @@ func newServer(cfg config) *server {
 	s.mux.HandleFunc("POST /v1/pareto", s.gated(epPareto, s.handlePareto))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.pprof {
+		// Ungated: profiling must stay reachable while /v1 is saturated.
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -287,6 +298,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	cum += s.metrics.histogram[len(latencyBuckets)].Load()
 	buckets = append(buckets, map[string]any{"le": "+Inf", "count": cum})
 
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -300,6 +314,22 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"cache_hits":    st.CacheHits,
 			"cache_entries": st.CacheEntries,
 			"hit_ratio":     st.HitRatio(),
+		},
+		"solver": map[string]any{
+			"orgs_considered": st.OrgsConsidered,
+			"orgs_pruned":     st.OrgsPruned,
+			"orgs_built":      st.OrgsBuilt,
+			"prune_ratio":     st.PruneRatio(),
+		},
+		"runtime": map[string]any{
+			"goroutines":      runtime.NumGoroutine(),
+			"gomaxprocs":      runtime.GOMAXPROCS(0),
+			"heap_alloc":      mem.HeapAlloc,
+			"heap_objects":    mem.HeapObjects,
+			"total_alloc":     mem.TotalAlloc,
+			"num_gc":          mem.NumGC,
+			"gc_pause_total":  float64(mem.PauseTotalNs) / 1e9,
+			"gc_cpu_fraction": mem.GCCPUFraction,
 		},
 		"request_latency_seconds": map[string]any{
 			"count":   s.metrics.latCount.Load(),

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -219,6 +220,17 @@ func TestMetricsReportCacheAndLatency(t *testing.T) {
 			Buckets []map[string]any `json:"buckets"`
 		} `json:"request_latency_seconds"`
 		InFlight int64 `json:"in_flight"`
+		Solver   struct {
+			Considered int64   `json:"orgs_considered"`
+			Pruned     int64   `json:"orgs_pruned"`
+			Built      int64   `json:"orgs_built"`
+			PruneRatio float64 `json:"prune_ratio"`
+		} `json:"solver"`
+		Runtime struct {
+			Goroutines int   `json:"goroutines"`
+			HeapAlloc  int64 `json:"heap_alloc"`
+			NumGC      int64 `json:"num_gc"`
+		} `json:"runtime"`
 	}
 	if err := json.Unmarshal(body, &m); err != nil {
 		t.Fatalf("metrics not JSON: %v\n%s", err, body)
@@ -239,10 +251,36 @@ func TestMetricsReportCacheAndLatency(t *testing.T) {
 	if m.InFlight != 0 {
 		t.Fatalf("in_flight %d after quiesce", m.InFlight)
 	}
+	// Considered covers pruned + built + the rare circuit-build error.
+	if m.Solver.Considered <= 0 || m.Solver.Built <= 0 ||
+		m.Solver.Considered < m.Solver.Pruned+m.Solver.Built {
+		t.Fatalf("solver counters %+v", m.Solver)
+	}
+	if m.Solver.PruneRatio <= 0 || m.Solver.PruneRatio >= 1 {
+		t.Fatalf("prune ratio %g outside (0,1)", m.Solver.PruneRatio)
+	}
+	if m.Runtime.Goroutines <= 0 || m.Runtime.HeapAlloc <= 0 {
+		t.Fatalf("runtime stats %+v", m.Runtime)
+	}
+}
+
+func TestPprofFlagGatesDebugHandlers(t *testing.T) {
+	off := newTestServer(t, config{})
+	if resp, _ := get(t, off.URL+"/debug/pprof/"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pprof index served without -pprof: %d", resp.StatusCode)
+	}
+	on := newTestServer(t, config{pprof: true})
+	resp, body := get(t, on.URL+"/debug/pprof/")
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("goroutine")) {
+		t.Fatalf("pprof index with -pprof: %d %.80q", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, on.URL+"/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline: %d", resp.StatusCode)
+	}
 }
 
 func TestConcurrencyBoundRejectsExcess(t *testing.T) {
-	slow := func(spec core.Spec) (*core.Solution, error) {
+	slow := func(_ context.Context, spec core.Spec) (*core.Solution, error) {
 		time.Sleep(150 * time.Millisecond)
 		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
 	}
@@ -290,7 +328,7 @@ func TestConcurrencyBoundRejectsExcess(t *testing.T) {
 }
 
 func TestPerRequestTimeout(t *testing.T) {
-	stuck := func(spec core.Spec) (*core.Solution, error) {
+	stuck := func(_ context.Context, spec core.Spec) (*core.Solution, error) {
 		time.Sleep(300 * time.Millisecond)
 		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
 	}

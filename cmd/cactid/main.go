@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"cactid/internal/core"
 	"cactid/internal/dram"
@@ -59,8 +61,13 @@ func main() {
 		burst   = flag.Int("burst", 8, "chip: burst length")
 		rate    = flag.Float64("rate", 1066, "chip: data rate in MT/s")
 		idd     = flag.Bool("idd", false, "chip: also print the datasheet-style IDD report")
+		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles = startProfiles(*cpuprof, *memprof)
+	defer stopProfiles()
 
 	if *table1 {
 		fmt.Print(tech.FormatTable1(tech.Node(*node)))
@@ -154,7 +161,52 @@ func main() {
 	}
 }
 
+// stopProfiles flushes any active profiles; fatal must call it because
+// os.Exit skips main's deferred call.
+var stopProfiles = func() {}
+
+// startProfiles starts a CPU profile and arranges a heap profile
+// snapshot, returning an idempotent flush-and-close function.
+func startProfiles(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cactid:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "cactid:", err)
+			}
+		}
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "cactid:", err)
 	os.Exit(1)
 }

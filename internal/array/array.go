@@ -5,12 +5,23 @@
 // mux degree) that CACTI-D's optimizer searches over, and evaluates
 // area, timing (access, random cycle, multisubbank interleave cycle),
 // energy, leakage and refresh for each organization.
+//
+// Enumeration is the solver's hot path: EnumerateContext shards the
+// (rows, cols) grid across a bounded worker pool, prunes infeasible
+// organizations with cheap integer/signal-margin prechecks before any
+// circuit modeling, and reuses the mux-independent mat model
+// (mat.Shared) across the column-mux inner loop. The merged output is
+// byte-identical to a serial scan of the same grid.
 package array
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"cactid/internal/circuit"
 	"cactid/internal/mat"
@@ -132,26 +143,182 @@ func pow2sUpTo(lo, hi int) []int {
 	return out
 }
 
+// The Section 2.4 enumeration grid: subarray rows and columns from 32
+// to 8192, column mux degrees from 1 to 1024. Precomputed once — the
+// enumeration loop allocates nothing for the grid itself.
+var (
+	enumRows = pow2sUpTo(32, 8192)
+	enumCols = pow2sUpTo(32, 8192)
+	enumMux  = pow2sUpTo(1, 1024)
+)
+
+// Counters audits one enumeration: every (rows, cols, mux) triple of
+// the grid lands in exactly one bucket, so
+// Considered == PrunedTotal() + Built + BuildErrors.
+type Counters struct {
+	Considered int64 `json:"considered"` // grid triples examined
+
+	// Prune buckets, in precheck order.
+	PrunedMux    int64 `json:"pruned_mux"`           // mux degree exceeds columns
+	PrunedGeom   int64 `json:"pruned_geometry"`      // no valid subbank shape / divisibility
+	PrunedPage   int64 `json:"pruned_page"`          // DRAM page-size constraint
+	PrunedOutput int64 `json:"pruned_output_width"`  // subbank narrower than required output
+	PrunedWaste  int64 `json:"pruned_overprovision"` // >2x capacity overprovision
+	PrunedMargin int64 `json:"pruned_signal_margin"` // DRAM bitline signal below sense minimum
+
+	Built       int64 `json:"built"`        // fully circuit-modeled organizations
+	BuildErrors int64 `json:"build_errors"` // rejections the precheck did not anticipate
+}
+
+// PrunedTotal returns the number of organizations rejected before the
+// expensive circuit/mat modeling.
+func (c Counters) PrunedTotal() int64 {
+	return c.PrunedMux + c.PrunedGeom + c.PrunedPage + c.PrunedOutput + c.PrunedWaste + c.PrunedMargin
+}
+
+func (c *Counters) merge(o Counters) {
+	c.Considered += o.Considered
+	c.PrunedMux += o.PrunedMux
+	c.PrunedGeom += o.PrunedGeom
+	c.PrunedPage += o.PrunedPage
+	c.PrunedOutput += o.PrunedOutput
+	c.PrunedWaste += o.PrunedWaste
+	c.PrunedMargin += o.PrunedMargin
+	c.Built += o.Built
+	c.BuildErrors += o.BuildErrors
+}
+
+// Add accumulates another enumeration's counters (used by core to
+// combine the data- and tag-array scans).
+func (c *Counters) Add(o Counters) { c.merge(o) }
+
 // Enumerate evaluates every valid organization for spec, returning
-// them in no particular order. Invalid combinations (signal margin,
-// divisibility) are skipped silently.
+// them in deterministic grid order (rows-major, then cols, then mux).
+// Invalid combinations (signal margin, divisibility) are skipped
+// silently. It is EnumerateContext with the default worker pool.
 func Enumerate(spec Spec) []*Bank {
-	var out []*Bank
-	for _, rows := range pow2sUpTo(32, 8192) {
-		for _, cols := range pow2sUpTo(32, 8192) {
-			for _, mux := range pow2sUpTo(1, 1024) {
-				if mux > cols {
-					continue
-				}
-				b, err := Build(spec, OrgFor(spec, rows, cols, mux))
-				if err != nil {
-					continue
-				}
-				out = append(out, b)
-			}
+	banks, _, _ := EnumerateContext(context.Background(), spec, 0)
+	return banks
+}
+
+// EnumerateContext evaluates every valid organization for spec on a
+// bounded worker pool (workers <= 0 means GOMAXPROCS), returning them
+// in the same deterministic grid order as a serial scan, plus the
+// prune/build counters. A cancelled context aborts the scan and
+// returns ctx.Err() with nil banks.
+func EnumerateContext(ctx context.Context, spec Spec, workers int) ([]*Bank, Counters, error) {
+	bc, err := newBuildCtx(spec)
+	if err != nil {
+		return nil, Counters{}, err
+	}
+	type shard struct{ rows, cols int }
+	shards := make([]shard, 0, len(enumRows)*len(enumCols))
+	for _, rows := range enumRows {
+		for _, cols := range enumCols {
+			shards = append(shards, shard{rows, cols})
 		}
 	}
-	return out
+	results := make([]shardResult, len(shards))
+
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	if workers == 1 {
+		for i, sh := range shards {
+			if ctx.Err() != nil {
+				break
+			}
+			results[i] = enumerateShard(bc, sh.rows, sh.cols)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(shards) || ctx.Err() != nil {
+						return
+					}
+					results[i] = enumerateShard(bc, shards[i].rows, shards[i].cols)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var c Counters
+	total := 0
+	for i := range results {
+		total += len(results[i].banks)
+		c.merge(results[i].counters)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, c, err
+	}
+	// Merge in shard order: shards enumerate (rows, cols) in the same
+	// order as the serial triple loop, and each shard's banks are in
+	// ascending mux order, so the concatenation reproduces the serial
+	// output exactly.
+	out := make([]*Bank, 0, total)
+	for i := range results {
+		out = append(out, results[i].banks...)
+	}
+	return out, c, nil
+}
+
+type shardResult struct {
+	banks    []*Bank
+	counters Counters
+}
+
+// enumerateShard scans the column-mux inner loop for one (rows, cols)
+// pair, building the mux-independent mat model at most once.
+func enumerateShard(bc *buildCtx, rows, cols int) shardResult {
+	var r shardResult
+	var sh *mat.Shared
+	var shErr error
+	sharedDone := false
+	for _, mux := range enumMux {
+		r.counters.Considered++
+		if mux > cols {
+			r.counters.PrunedMux++
+			continue
+		}
+		o := OrgFor(bc.spec, rows, cols, mux)
+		if reason := bc.precheck(o); reason != prOK {
+			r.counters.bump(reason)
+			continue
+		}
+		if !sharedDone {
+			sharedDone = true
+			sh, shErr = mat.NewShared(mat.Config{
+				Tech: bc.spec.Tech, RAM: bc.spec.RAM,
+				Rows: rows, Cols: cols, Ports: bc.spec.Ports,
+			})
+		}
+		if shErr != nil {
+			if errors.Is(shErr, mat.ErrSignalMargin) {
+				r.counters.PrunedMargin++
+			} else {
+				r.counters.BuildErrors++
+			}
+			continue
+		}
+		m, err := sh.Build(mux)
+		if err != nil {
+			r.counters.BuildErrors++
+			continue
+		}
+		r.counters.Built++
+		r.banks = append(r.banks, bc.finish(o, m))
+	}
+	return r
 }
 
 // OrgFor derives the full organization implied by a (rows, cols, mux)
@@ -187,41 +354,140 @@ func max(a, b int) int {
 	return b
 }
 
-// Build evaluates one organization. It returns an error when the
-// organization is infeasible (mat-level signal margin, divisibility,
-// or output-width violations).
-func Build(spec Spec, o Org) (*Bank, error) {
+// pruneReason classifies why an organization is rejected before
+// circuit modeling.
+type pruneReason int
+
+const (
+	prOK pruneReason = iota
+	prGeom
+	prPage
+	prOutput
+	prWaste
+)
+
+func (c *Counters) bump(r pruneReason) {
+	switch r {
+	case prGeom:
+		c.PrunedGeom++
+	case prPage:
+		c.PrunedPage++
+	case prOutput:
+		c.PrunedOutput++
+	case prWaste:
+		c.PrunedWaste++
+	}
+}
+
+// buildCtx caches every organization-independent quantity of Build:
+// resolved technology pointers, address/data widths, and the bank-edge
+// output driver. It is immutable after newBuildCtx and shared across
+// enumeration workers.
+type buildCtx struct {
+	spec Spec
+	cell *tech.CellParams
+	per  *tech.DeviceParams
+	wire *tech.WireParams
+
+	internalOut int
+	addrBits    int
+	dataBits    int
+	outDrv      circuit.Result
+}
+
+func newBuildCtx(spec Spec) (*buildCtx, error) {
 	if spec.CapacityBytes <= 0 || spec.OutputBits <= 0 {
 		return nil, fmt.Errorf("array: bad spec: capacity %d, output %d", spec.CapacityBytes, spec.OutputBits)
 	}
+	t := spec.Tech
+	cell := t.Cell(spec.RAM)
+	per := t.Device(cell.PeripheralDevice)
+	bc := &buildCtx{
+		spec: spec,
+		cell: cell,
+		per:  per,
+		wire: t.Wire(tech.WireGlobal),
+	}
+	bc.internalOut = spec.OutputBits * max(1, spec.AssocReadout)
+	bc.addrBits = int(math.Ceil(math.Log2(float64(spec.CapacityBytes*8)))) + 8 // address + control
+	// Way select happens at the subbank edge, so only OutputBits
+	// travel the data H-tree even when all ways are read out —
+	// unless RouteAllWays (fast mode) ships every way to the edge.
+	bc.dataBits = spec.OutputBits
+	if spec.RouteAllWays {
+		bc.dataBits = bc.internalOut
+	}
+	// Output drivers at the bank edge.
+	bc.outDrv = circuit.TristateDriver(per, 60e-15)
+	return bc, nil
+}
+
+// precheck runs the cheap integer feasibility tests of Build, in the
+// same order, without allocating error values.
+func (bc *buildCtx) precheck(o Org) pruneReason {
 	if o.MatsPerSubbank < 1 || o.Mats < 1 {
-		return nil, fmt.Errorf("array: org needs at least one mat: %v", o)
+		return prGeom
 	}
 	if o.MatsPerSubbank > o.Mats || o.Mats%o.MatsPerSubbank != 0 {
-		return nil, fmt.Errorf("array: %d mats not divisible into subbanks of %d", o.Mats, o.MatsPerSubbank)
+		return prGeom
 	}
-	if spec.PageBits > 0 && o.MatsPerSubbank*4*o.Cols != spec.PageBits {
-		return nil, fmt.Errorf("array: subbank senses %d bits, page requires %d", o.MatsPerSubbank*4*o.Cols, spec.PageBits)
+	if bc.spec.PageBits > 0 && o.MatsPerSubbank*4*o.Cols != bc.spec.PageBits {
+		return prPage
 	}
-	internalOut := spec.OutputBits * max(1, spec.AssocReadout)
-	if got := o.MatsPerSubbank * 4 * o.Cols / o.Mux; got < internalOut {
-		return nil, fmt.Errorf("array: subbank delivers %d bits < required %d", got, internalOut)
+	if got := o.MatsPerSubbank * 4 * o.Cols / o.Mux; got < bc.internalOut {
+		return prOutput
 	}
 	// Reject gross overprovision (>2x the needed mats) so rounding
 	// from non-power-of-two capacities stays tight.
 	bitsPerMat := int64(4 * o.Rows * o.Cols)
-	if int64(o.Mats)*bitsPerMat > 2*spec.CapacityBytes*8 {
-		return nil, fmt.Errorf("array: organization wastes more than half the mats")
+	if int64(o.Mats)*bitsPerMat > 2*bc.spec.CapacityBytes*8 {
+		return prWaste
 	}
+	return prOK
+}
 
+// checkErr formats the descriptive rejection error Build reports for
+// a prune reason.
+func (bc *buildCtx) checkErr(o Org, r pruneReason) error {
+	switch r {
+	case prGeom:
+		if o.MatsPerSubbank < 1 || o.Mats < 1 {
+			return fmt.Errorf("array: org needs at least one mat: %v", o)
+		}
+		return fmt.Errorf("array: %d mats not divisible into subbanks of %d", o.Mats, o.MatsPerSubbank)
+	case prPage:
+		return fmt.Errorf("array: subbank senses %d bits, page requires %d", o.MatsPerSubbank*4*o.Cols, bc.spec.PageBits)
+	case prOutput:
+		return fmt.Errorf("array: subbank delivers %d bits < required %d", o.MatsPerSubbank*4*o.Cols/o.Mux, bc.internalOut)
+	case prWaste:
+		return fmt.Errorf("array: organization wastes more than half the mats")
+	}
+	return nil
+}
+
+// Build evaluates one organization. It returns an error when the
+// organization is infeasible (mat-level signal margin, divisibility,
+// or output-width violations).
+func Build(spec Spec, o Org) (*Bank, error) {
+	bc, err := newBuildCtx(spec)
+	if err != nil {
+		return nil, err
+	}
+	if reason := bc.precheck(o); reason != prOK {
+		return nil, bc.checkErr(o, reason)
+	}
 	m, err := mat.New(mat.Config{Tech: spec.Tech, RAM: spec.RAM, Rows: o.Rows, Cols: o.Cols, DegBLMux: o.Mux, Ports: spec.Ports})
 	if err != nil {
 		return nil, err
 	}
+	return bc.finish(o, m), nil
+}
 
-	t := spec.Tech
-	cell := t.Cell(spec.RAM)
-	per := t.Device(cell.PeripheralDevice)
+// finish assembles the bank model around an evaluated mat: floorplan,
+// H-tree networks, timing, energy, leakage, refresh and area.
+func (bc *buildCtx) finish(o Org, m *mat.Mat) *Bank {
+	spec := bc.spec
+	cell := bc.cell
 
 	b := &Bank{Spec: spec, Org: o, Mat: m}
 
@@ -243,25 +509,15 @@ func Build(spec Spec, o Org) (*Bank, error) {
 
 	// ---- H-tree networks ----
 	// Address in to the farthest subbank and data back out; worst
-	// case length is half the perimeter.
+	// case length is half the perimeter. Address and data trees have
+	// identical geometry, so one repeated-wire solution serves both.
 	htreeLen := (matsW + matsH) / 2
-	wire := t.Wire(tech.WireGlobal)
-	addrBits := int(math.Ceil(math.Log2(float64(spec.CapacityBytes*8)))) + 8 // address + control
-	// Way select happens at the subbank edge, so only OutputBits
-	// travel the data H-tree even when all ways are read out —
-	// unless RouteAllWays (fast mode) ships every way to the edge.
-	dataBits := spec.OutputBits
-	if spec.RouteAllWays {
-		dataBits = internalOut
-	}
+	htreeWire := circuit.NewRepeatedWire(bc.per, bc.wire, htreeLen, spec.RepeaterSlack)
+	b.HtreeInDelay = htreeWire.Res.Delay
+	b.HtreeOutDelay = htreeWire.Res.Delay
 
-	addrWire := circuit.NewRepeatedWire(per, wire, htreeLen, spec.RepeaterSlack)
-	dataWire := circuit.NewRepeatedWire(per, wire, htreeLen, spec.RepeaterSlack)
-	b.HtreeInDelay = addrWire.Res.Delay
-	b.HtreeOutDelay = dataWire.Res.Delay
-
-	// Output drivers at the bank edge.
-	outDrv := circuit.TristateDriver(per, 60e-15)
+	addrBits, dataBits := bc.addrBits, bc.dataBits
+	outDrv := bc.outDrv
 
 	// ---- Timing ----
 	// Input/output latches synchronize the bank to its clock.
@@ -277,7 +533,7 @@ func Build(spec Spec, o Org) (*Bank, error) {
 		maxStages = 8
 	}
 	atomic := m.TBitline + m.TSense
-	segment := math.Max(atomic, b.HtreeInDelay/math.Max(1, float64(addrWire.NumRep)))
+	segment := math.Max(atomic, b.HtreeInDelay/math.Max(1, float64(htreeWire.NumRep)))
 	nStages := int(math.Ceil(b.AccessTime / math.Max(segment, 1e-12)))
 	if nStages > maxStages {
 		nStages = maxStages
@@ -290,14 +546,14 @@ func Build(spec Spec, o Org) (*Bank, error) {
 
 	// ---- Energy ----
 	nAct := float64(o.MatsPerSubbank)
-	eAddr := float64(addrBits) * addrWire.Res.Energy
-	eData := float64(dataBits)*dataWire.Res.Energy + float64(spec.OutputBits)*outDrv.Energy
+	eAddr := float64(addrBits) * htreeWire.Res.Energy
+	eData := float64(dataBits)*htreeWire.Res.Energy + float64(spec.OutputBits)*outDrv.Energy
 	b.EActivate = eAddr + nAct*m.EActivate
 	b.ERead = nAct*m.ERead + eData
 	// A write moves OutputBits through the column path and drives
 	// exactly those bitlines; reads of the other ways still occur in
 	// normal mode (read-modify-select), hence nAct*ERead.
-	b.EWrite = eAddr + float64(dataBits)*dataWire.Res.Energy +
+	b.EWrite = eAddr + float64(dataBits)*htreeWire.Res.Energy +
 		nAct*m.ERead + float64(spec.OutputBits)*m.EWritePerBit
 	b.EPrecharge = nAct * m.EPrecharge
 
@@ -308,7 +564,7 @@ func Build(spec Spec, o Org) (*Bank, error) {
 		idle := float64(o.Mats-o.MatsPerSubbank) * m.Leakage / 2
 		matLeak = active + idle
 	}
-	wireLeak := (float64(addrBits)*addrWire.Res.Leakage + float64(dataBits)*dataWire.Res.Leakage) +
+	wireLeak := (float64(addrBits)*htreeWire.Res.Leakage + float64(dataBits)*htreeWire.Res.Leakage) +
 		float64(spec.OutputBits)*outDrv.Leakage
 	b.Leakage = matLeak + wireLeak
 	// Refresh: every page (row across the subbank) is activated and
@@ -323,8 +579,8 @@ func Build(spec Spec, o Org) (*Bank, error) {
 
 	// ---- Area ----
 	matsArea := float64(o.Mats) * m.Area
-	wireArea := float64(addrBits+dataBits) * wire.Pitch * htreeLen
-	repArea := float64(addrBits)*addrWire.Res.Area + float64(dataBits)*dataWire.Res.Area
+	wireArea := float64(addrBits+dataBits) * bc.wire.Pitch * htreeLen
+	repArea := float64(addrBits)*htreeWire.Res.Area + float64(dataBits)*htreeWire.Res.Area
 	b.MatsArea = matsArea
 	b.WireArea = wireArea + repArea
 	b.Area = matsArea + wireArea + repArea
@@ -332,5 +588,5 @@ func Build(spec Spec, o Org) (*Bank, error) {
 	b.Width = matsW * math.Sqrt(scale)
 	b.Height = matsH * math.Sqrt(scale)
 	b.AreaEff = float64(o.Mats) * m.CellArea / b.Area
-	return b, nil
+	return b
 }

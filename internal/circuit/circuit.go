@@ -179,7 +179,7 @@ func OptimalChain(dev *tech.DeviceParams, cin, loadCap, branch float64) Chain {
 	n := int(math.Max(1, math.Round(math.Log(h)/math.Log(4))))
 	f := math.Pow(h, 1/float64(n)) // per-stage effort
 
-	ch := Chain{Dev: dev, NumStage: n}
+	ch := Chain{Dev: dev, NumStage: n, Stages: make([]Inverter, 0, n)}
 	w := wnIn
 	trise := 0.0
 	for i := 0; i < n; i++ {

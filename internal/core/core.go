@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -250,6 +251,43 @@ func orgLess(a, b array.Org) bool {
 	return a.MatsPerSubbank < b.MatsPerSubbank
 }
 
+// Options tunes a solver call without affecting its result: the
+// enumeration worker-pool size and an optional sink for the coverage
+// counters. The zero value (and a nil *Options) is the default:
+// GOMAXPROCS workers, no counter reporting.
+type Options struct {
+	// Workers bounds the organization-enumeration pool; 0 means
+	// GOMAXPROCS, 1 forces the serial path. Any value produces
+	// byte-identical solutions.
+	Workers int
+
+	// Stats, when non-nil, receives the enumeration coverage counters
+	// of the solve (data and tag arrays separately).
+	Stats *SolveStats
+}
+
+// SolveStats audits one Explore/Optimize call: how many organizations
+// each enumeration considered, pruned before circuit modeling, and
+// fully built.
+type SolveStats struct {
+	Data array.Counters `json:"data"`
+	Tag  array.Counters `json:"tag"`
+}
+
+// Total returns the combined data+tag counters.
+func (s SolveStats) Total() array.Counters {
+	t := s.Data
+	t.Add(s.Tag)
+	return t
+}
+
+func (o *Options) workers() int {
+	if o == nil {
+		return 0
+	}
+	return o.Workers
+}
+
 // Explore enumerates every feasible solution for spec, without
 // applying the optimization constraints. The returned slice is sorted
 // by access time, with exact ties broken by the data organization
@@ -257,6 +295,12 @@ func orgLess(a, b array.Org) bool {
 // parallel and repeated callers see identical slices. This is the raw
 // design space behind Figure 1's bubble chart.
 func Explore(spec Spec) ([]*Solution, error) {
+	return ExploreContext(context.Background(), spec, nil)
+}
+
+// ExploreContext is Explore with cancellation and solver options
+// (opts may be nil). The worker count never changes the result.
+func ExploreContext(ctx context.Context, spec Spec, opts *Options) ([]*Solution, error) {
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
@@ -266,7 +310,7 @@ func Explore(spec Spec) ([]*Solution, error) {
 	var tag *array.Bank
 	if spec.IsCache {
 		var err error
-		tag, err = optimizeTag(spec, t)
+		tag, err = optimizeTag(ctx, spec, t, opts)
 		if err != nil {
 			return nil, fmt.Errorf("core: tag array: %w", err)
 		}
@@ -296,13 +340,24 @@ func Explore(spec Spec) ([]*Solution, error) {
 		SleepTransistors:  spec.SleepTransistors,
 		Ports:             spec.Ports,
 	}
-	banks := array.Enumerate(dataSpec)
+	banks, counters, err := array.EnumerateContext(ctx, dataSpec, opts.workers())
+	if opts != nil && opts.Stats != nil {
+		opts.Stats.Data = counters
+	}
+	if err != nil {
+		return nil, err
+	}
 	if len(banks) == 0 {
 		return nil, ErrNoSolution
 	}
-	sols := make([]*Solution, 0, len(banks))
-	for _, b := range banks {
-		sols = append(sols, assemble(spec, b, tag))
+	// One backing array for all solutions: the enumeration produces a
+	// few hundred of them per solve, and a single allocation beats a
+	// per-solution heap object.
+	backing := make([]Solution, len(banks))
+	sols := make([]*Solution, len(banks))
+	for i, b := range banks {
+		assemble(spec, b, tag, &backing[i])
+		sols[i] = &backing[i]
 	}
 	sort.Slice(sols, func(i, j int) bool {
 		if sols[i].AccessTime != sols[j].AccessTime {
@@ -316,7 +371,13 @@ func Explore(spec Spec) ([]*Solution, error) {
 // Optimize runs the full CACTI-D optimization flow (Section 2.4) and
 // returns the chosen solution.
 func Optimize(spec Spec) (*Solution, error) {
-	sols, err := Explore(spec)
+	return OptimizeContext(context.Background(), spec, nil)
+}
+
+// OptimizeContext is Optimize with cancellation and solver options
+// (opts may be nil). The worker count never changes the result.
+func OptimizeContext(ctx context.Context, spec Spec, opts *Options) (*Solution, error) {
+	sols, err := ExploreContext(ctx, spec, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -338,7 +399,7 @@ func Filter(spec Spec, sols []*Solution) []*Solution {
 	for _, s := range sols {
 		minArea = math.Min(minArea, s.Area)
 	}
-	var pass1 []*Solution
+	pass1 := make([]*Solution, 0, len(sols))
 	for _, s := range sols {
 		if s.Area <= minArea*(1+spec.MaxAreaConstraint) {
 			pass1 = append(pass1, s)
@@ -364,24 +425,40 @@ func Filter(spec Spec, sols []*Solution) []*Solution {
 		minI = math.Min(minI, s.InterleaveCycle)
 	}
 	w := *spec.Weights
-	obj := make(map[*Solution]float64, len(pass2))
-	for _, s := range pass2 {
-		obj[s] = s.objective(w, minE, minL, minC, minI)
+	// Objectives kept in a slice parallel to pass2 (sorted together):
+	// cheaper than a map and the same total order.
+	objs := make([]float64, len(pass2))
+	for i, s := range pass2 {
+		objs[i] = s.objective(w, minE, minL, minC, minI)
 	}
-	sort.Slice(pass2, func(i, j int) bool {
-		if obj[pass2[i]] != obj[pass2[j]] {
-			return obj[pass2[i]] < obj[pass2[j]]
-		}
-		if pass2[i].AccessTime != pass2[j].AccessTime {
-			return pass2[i].AccessTime < pass2[j].AccessTime
-		}
-		return orgLess(pass2[i].Data.Org, pass2[j].Data.Org)
-	})
+	sort.Sort(&byObjective{sols: pass2, objs: objs})
 	return pass2
 }
 
+// byObjective sorts solutions and their precomputed objectives in
+// lockstep: objective, then access time, then organization order.
+type byObjective struct {
+	sols []*Solution
+	objs []float64
+}
+
+func (b *byObjective) Len() int { return len(b.sols) }
+func (b *byObjective) Swap(i, j int) {
+	b.sols[i], b.sols[j] = b.sols[j], b.sols[i]
+	b.objs[i], b.objs[j] = b.objs[j], b.objs[i]
+}
+func (b *byObjective) Less(i, j int) bool {
+	if b.objs[i] != b.objs[j] {
+		return b.objs[i] < b.objs[j]
+	}
+	if b.sols[i].AccessTime != b.sols[j].AccessTime {
+		return b.sols[i].AccessTime < b.sols[j].AccessTime
+	}
+	return orgLess(b.sols[i].Data.Org, b.sols[j].Data.Org)
+}
+
 // optimizeTag builds and optimizes the tag array for a cache spec.
-func optimizeTag(spec Spec, t *tech.Technology) (*array.Bank, error) {
+func optimizeTag(ctx context.Context, spec Spec, t *tech.Technology, opts *Options) (*array.Bank, error) {
 	tagBits := spec.TagBits()
 	setsPerBank := spec.CapacityBytes / int64(spec.Banks) / int64(spec.BlockBytes) / int64(spec.Associativity)
 	capBytes := setsPerBank * int64(spec.Associativity) * int64(tagBits) / 8
@@ -398,7 +475,13 @@ func optimizeTag(spec Spec, t *tech.Technology) (*array.Bank, error) {
 		RepeaterSlack:     spec.MaxRepeaterSlack,
 		SleepTransistors:  spec.SleepTransistors,
 	}
-	banks := array.Enumerate(tagSpec)
+	banks, counters, err := array.EnumerateContext(ctx, tagSpec, opts.workers())
+	if opts != nil && opts.Stats != nil {
+		opts.Stats.Tag = counters
+	}
+	if err != nil {
+		return nil, err
+	}
 	if len(banks) == 0 {
 		return nil, ErrNoSolution
 	}
@@ -413,10 +496,10 @@ func optimizeTag(spec Spec, t *tech.Technology) (*array.Bank, error) {
 	return banks[0], nil
 }
 
-// assemble combines a data organization with the tag array into a
-// Solution according to the access mode.
-func assemble(spec Spec, data *array.Bank, tag *array.Bank) *Solution {
-	s := &Solution{Spec: spec, Data: data, Tag: tag}
+// assemble combines a data organization with the tag array into the
+// caller-provided Solution according to the access mode.
+func assemble(spec Spec, data *array.Bank, tag *array.Bank, s *Solution) {
+	*s = Solution{Spec: spec, Data: data, Tag: tag}
 	nb := float64(spec.Banks)
 
 	wayMux := 0.0
@@ -470,7 +553,6 @@ func assemble(spec Spec, data *array.Bank, tag *array.Bank) *Solution {
 	if spec.IncludeBankRouting && spec.Banks > 1 {
 		addBankRouting(spec, s, data)
 	}
-	return s
 }
 
 // addBankRouting extends a multi-bank solution with the inter-bank

@@ -2,6 +2,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -10,16 +11,23 @@ import (
 )
 
 // Options configures an Engine. The zero value is usable: GOMAXPROCS
-// workers, a fresh cache, core.Optimize as the solver.
+// workers, a fresh cache, core.OptimizeContext as the solver.
 type Options struct {
 	// Workers bounds sweep concurrency; 0 means GOMAXPROCS.
 	Workers int
+	// SolverWorkers bounds the per-solve organization-enumeration
+	// pool (core.Options.Workers); 0 means GOMAXPROCS. The Go
+	// scheduler time-slices sweep-level and solve-level parallelism
+	// onto the same GOMAXPROCS threads, so the default is safe for
+	// both single solves and wide sweeps.
+	SolverWorkers int
 	// Cache lets several engines share one result cache; nil makes a
 	// private one.
 	Cache *Cache
-	// Solver replaces core.Optimize (tests inject counting or
-	// slow solvers).
-	Solver func(core.Spec) (*core.Solution, error)
+	// Solver replaces the default core.OptimizeContext solver (tests
+	// inject counting or slow solvers). The context is the
+	// requester's: solvers should abandon work when it is cancelled.
+	Solver func(context.Context, core.Spec) (*core.Solution, error)
 }
 
 // Engine runs solver jobs through a bounded worker pool with a
@@ -28,10 +36,16 @@ type Options struct {
 type Engine struct {
 	cache   *Cache
 	workers int
-	solver  func(core.Spec) (*core.Solution, error)
+	solver  func(context.Context, core.Spec) (*core.Solution, error)
 
 	solves atomic.Int64 // solver invocations (cache misses)
 	hits   atomic.Int64 // results served from cache or an in-flight solve
+
+	// Enumeration coverage, accumulated from core.SolveStats by the
+	// default solver (zero when a custom Solver is injected).
+	orgsConsidered atomic.Int64
+	orgsPruned     atomic.Int64
+	orgsBuilt      atomic.Int64
 }
 
 // New returns an Engine with the given options.
@@ -44,7 +58,16 @@ func New(opts Options) *Engine {
 		e.workers = runtime.GOMAXPROCS(0)
 	}
 	if e.solver == nil {
-		e.solver = core.Optimize
+		solverWorkers := opts.SolverWorkers
+		e.solver = func(ctx context.Context, spec core.Spec) (*core.Solution, error) {
+			var st core.SolveStats
+			sol, err := core.OptimizeContext(ctx, spec, &core.Options{Workers: solverWorkers, Stats: &st})
+			total := st.Total()
+			e.orgsConsidered.Add(total.Considered)
+			e.orgsPruned.Add(total.PrunedTotal())
+			e.orgsBuilt.Add(total.Built)
+			return sol, err
+		}
 	}
 	return e
 }
@@ -93,7 +116,13 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, fp string) (*core.So
 		return nil, false, err
 	}
 	e.solves.Add(1)
-	ent.sol, ent.err = e.solver(spec)
+	ent.sol, ent.err = e.solver(ctx, spec)
+	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
+		// The solver was cut short by this requester's context: the
+		// failure says nothing about the spec, so don't poison the
+		// cache with it.
+		e.cache.forget(fp)
+	}
 	close(ent.ready)
 	return ent.sol, false, ent.err
 }
@@ -162,11 +191,18 @@ func (e *Engine) Pareto(ctx context.Context, specs []core.Spec) []Result {
 	return Frontier(e.Sweep(ctx, specs))
 }
 
-// Stats is a snapshot of the engine's cache counters.
+// Stats is a snapshot of the engine's cache and enumeration counters.
 type Stats struct {
 	Solves       int64 `json:"solves"`
 	CacheHits    int64 `json:"cache_hits"`
 	CacheEntries int   `json:"cache_entries"`
+
+	// Organization-enumeration coverage across all solves (data +
+	// tag arrays): triples considered, rejected by the cheap
+	// feasibility precheck, and fully circuit-modeled.
+	OrgsConsidered int64 `json:"orgs_considered"`
+	OrgsPruned     int64 `json:"orgs_pruned"`
+	OrgsBuilt      int64 `json:"orgs_built"`
 }
 
 // HitRatio returns hits / (hits + solves), 0 when idle.
@@ -178,11 +214,23 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.CacheHits) / float64(total)
 }
 
+// PruneRatio returns the fraction of considered organizations
+// rejected before circuit modeling, 0 when idle.
+func (s Stats) PruneRatio() float64 {
+	if s.OrgsConsidered == 0 {
+		return 0
+	}
+	return float64(s.OrgsPruned) / float64(s.OrgsConsidered)
+}
+
 // Stats returns the current counters.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Solves:       e.solves.Load(),
-		CacheHits:    e.hits.Load(),
-		CacheEntries: e.cache.Len(),
+		Solves:         e.solves.Load(),
+		CacheHits:      e.hits.Load(),
+		CacheEntries:   e.cache.Len(),
+		OrgsConsidered: e.orgsConsidered.Load(),
+		OrgsPruned:     e.orgsPruned.Load(),
+		OrgsBuilt:      e.orgsBuilt.Load(),
 	}
 }

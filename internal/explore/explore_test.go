@@ -74,9 +74,9 @@ func TestGridExpandSkipsInfeasiblePoints(t *testing.T) {
 }
 
 // countingSolver wraps a fake solver and counts invocations.
-func countingSolver(delay time.Duration) (*atomic.Int64, func(core.Spec) (*core.Solution, error)) {
+func countingSolver(delay time.Duration) (*atomic.Int64, func(context.Context, core.Spec) (*core.Solution, error)) {
 	var n atomic.Int64
-	return &n, func(spec core.Spec) (*core.Solution, error) {
+	return &n, func(_ context.Context, spec core.Spec) (*core.Solution, error) {
 		n.Add(1)
 		if delay > 0 {
 			time.Sleep(delay)

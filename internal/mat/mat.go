@@ -115,21 +115,69 @@ func dramAccessRes(acc *tech.DeviceParams, cell *tech.CellParams) float64 {
 	return 0.75 * (cell.Vdd / overdrive) * acc.RnOnPerWidth / cell.AccessWidth
 }
 
+// Shared holds the mux-independent part of the mat model for one
+// (technology, RAM type, rows, cols, ports) choice: the wordline,
+// row-decoder and bitline electricals, the restore/precharge timing
+// and the decoder-strip geometry. CACTI-D's enumeration sweeps the
+// column-mux degree as its innermost loop, and everything in Shared is
+// invariant across that loop — hoisting it makes the per-mux Build
+// cheap. A Shared is immutable after NewShared and safe for
+// concurrent Build calls.
+type Shared struct {
+	cfg    Config // DegBLMux unset; Ports normalized
+	cell   *tech.CellParams
+	acc    *tech.DeviceParams
+	per    *tech.DeviceParams
+	isDRAM bool
+
+	cellW, cellH     float64
+	saWidth          float64
+	saHeight         float64
+	tDecoder         float64
+	tWordline        float64
+	tBitline         float64
+	tRestore         float64
+	tPrecharge       float64
+	cBitline         float64
+	vSignal          float64
+	decRes           circuit.Result // row decoder
+	wlRes            circuit.Result // wordline driver chain
+	eWL              float64
+	eBLAct           float64
+	eWritePerBit     float64
+	ePrecharge       float64
+	cellLeak         float64
+	nCells           float64
+	colSelWireCap    float64 // column-select distribution wiring
+	colSelWireRes    float64
+	decWidth         float64
+	cellArea         float64
+	width            float64
+	eActPrefix       float64 // dec + wordline + eWL + eBLAct energy sum
+	leakStaticPrefix float64 // dec + wordline leakage sum
+}
+
 // New evaluates the mat model for cfg. It returns ErrSignalMargin if
 // a DRAM configuration cannot develop enough differential signal, or
-// ErrBadConfig for malformed inputs.
+// ErrBadConfig for malformed inputs. It is NewShared followed by
+// Build; enumeration loops that sweep DegBLMux should hold the Shared
+// and call Build per mux degree instead.
 func New(cfg Config) (*Mat, error) {
+	s, err := NewShared(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(cfg.DegBLMux)
+}
+
+// NewShared evaluates the mux-independent stage of the mat model.
+// cfg.DegBLMux is ignored (Build supplies it).
+func NewShared(cfg Config) (*Shared, error) {
 	if cfg.Tech == nil {
 		return nil, fmt.Errorf("%w: nil Technology", ErrBadConfig)
 	}
 	if !isPow2(cfg.Rows) || !isPow2(cfg.Cols) {
 		return nil, fmt.Errorf("%w: rows=%d cols=%d must be powers of two", ErrBadConfig, cfg.Rows, cfg.Cols)
-	}
-	if cfg.DegBLMux < 1 {
-		cfg.DegBLMux = 1
-	}
-	if cfg.Cols%cfg.DegBLMux != 0 {
-		return nil, fmt.Errorf("%w: cols %d not divisible by mux degree %d", ErrBadConfig, cfg.Cols, cfg.DegBLMux)
 	}
 	if cfg.Ports < 1 {
 		cfg.Ports = 1
@@ -137,6 +185,7 @@ func New(cfg Config) (*Mat, error) {
 	if cfg.Ports > 1 && cfg.RAM.IsDRAM() {
 		return nil, fmt.Errorf("%w: multiported cells are SRAM-only", ErrBadConfig)
 	}
+	cfg.DegBLMux = 0
 
 	t := cfg.Tech
 	cell := t.Cell(cfg.RAM)
@@ -144,7 +193,7 @@ func New(cfg Config) (*Mat, error) {
 	per := t.Device(cell.PeripheralDevice)
 	isDRAM := cfg.RAM.IsDRAM()
 
-	m := &Mat{Config: cfg}
+	m := &Shared{cfg: cfg, cell: cell, acc: acc, per: per, isDRAM: isDRAM}
 
 	f := t.F
 	cellW := cell.CellWidth(f)
@@ -156,8 +205,10 @@ func New(cfg Config) (*Mat, error) {
 		cellW += 2 * f * extra
 		cellH += 2 * f * extra
 	}
+	m.cellW, m.cellH = cellW, cellH
 	saWidth := float64(cfg.Cols) * cellW
 	saHeight := float64(cfg.Rows) * cellH
+	m.saWidth, m.saHeight = saWidth, saHeight
 
 	// ---- Wordline ----
 	// Local wire along the row, in the cell's bitline-compatible
@@ -180,21 +231,25 @@ func New(cfg Config) (*Mat, error) {
 	wlChain := circuit.OptimalChain(per, minCin, cWL, 1)
 	// Distributed RC rise of the line itself.
 	tWLrc := 0.38 * rWL * cWL
-	m.TWordline = wlChain.Res.Delay + tWLrc
+	m.tWordline = wlChain.Res.Delay + tWLrc
+	m.wlRes = wlChain.Res
 
 	// Wordline swing voltage: boosted for DRAM.
 	vWL := per.Vdd
 	if isDRAM {
 		vWL = cell.Vpp
 	}
-	eWL := cWL * vWL * vWL // full swing up and down per activation
+	m.eWL = cWL * vWL * vWL // full swing up and down per activation
 
 	// ---- Row decoder ----
 	predecWireLen := saHeight / 2
 	gWire := t.Wire(tech.WireSemiGlobal)
 	dec := circuit.NewDecoder(per, cfg.Rows, wlChain.Res.Cin,
 		gWire.CPerLen*predecWireLen, gWire.RPerLen*predecWireLen)
-	m.TDecoder = dec.Res.Delay
+	m.tDecoder = dec.Res.Delay
+	m.decRes = dec.Res
+	m.colSelWireCap = gWire.CPerLen * saWidth / 4
+	m.colSelWireRes = gWire.RPerLen * saWidth / 4
 
 	// ---- Bitline ----
 	blWire := t.WireOf(tech.WireLocal, cell.BitlineMaterial)
@@ -208,46 +263,28 @@ func New(cfg Config) (*Mat, error) {
 	cPerCell := acc.CJuncPerWidth*cell.AccessWidth + contactCap
 	cBL := blWire.CPerLen*blLen + attach*cPerCell
 	rBL := blWire.RPerLen * blLen
-	m.CBitline = cBL
+	m.cBitline = cBL
 
 	if isDRAM {
 		// Charge redistribution: cell cap shares with the bitline.
 		cs := cell.Cs
-		m.VSignal = (cell.Vdd / 2) * cs / (cs + cBL)
-		if m.VSignal < cell.SenseVmin {
+		m.vSignal = (cell.Vdd / 2) * cs / (cs + cBL)
+		if m.vSignal < cell.SenseVmin {
 			return nil, fmt.Errorf("%w: rows=%d gives %.1fmV < %.1fmV",
-				ErrSignalMargin, cfg.Rows, m.VSignal*1e3, cell.SenseVmin*1e3)
+				ErrSignalMargin, cfg.Rows, m.vSignal*1e3, cell.SenseVmin*1e3)
 		}
 		// Transfer through the boosted access device onto the
 		// series-parallel capacitance, plus distributed bitline RC.
 		rAcc := dramAccessRes(acc, cell)
 		cShare := cs * cBL / (cs + cBL)
-		m.TBitline = 2.3*rAcc*cShare + 0.38*rBL*cBL
+		m.tBitline = 2.3*rAcc*cShare + 0.38*rBL*cBL
 	} else {
 		// SRAM: the cell pulls one bitline down through the
 		// access/driver stack until the differential reaches the
 		// sense minimum.
 		iCell := acc.IonN * cell.AccessWidth / 2 // two-device stack
-		m.VSignal = cell.SenseVmin
-		m.TBitline = cBL*cell.SenseVmin/iCell + 0.38*rBL*cBL
-	}
-
-	// ---- Sense amplifiers ----
-	nSA := cfg.Cols
-	if !isDRAM {
-		nSA = cfg.Cols / cfg.DegBLMux
-	}
-	sa := circuit.SenseAmp(t, per, nSA, cellW*float64(cfg.DegBLMux))
-	m.TSense = sa.Delay
-
-	// ---- Column mux / data-out path ----
-	m.DataBitsOut = cfg.Cols / cfg.DegBLMux * subarraysPerMat
-	colSel := circuit.NewDecoder(per, cfg.DegBLMux, 20e-15,
-		gWire.CPerLen*saWidth/4, gWire.RPerLen*saWidth/4)
-	if cfg.DegBLMux > 1 {
-		m.TColumnMux = colSel.Res.Delay / 2 // overlaps with sensing partially
-	} else {
-		m.TColumnMux = 0
+		m.vSignal = cell.SenseVmin
+		m.tBitline = cBL*cell.SenseVmin/iCell + 0.38*rBL*cBL
 	}
 
 	// ---- Restore / writeback and precharge ----
@@ -262,61 +299,127 @@ func New(cfg Config) (*Mat, error) {
 		rAcc := dramAccessRes(acc, cell)
 		// Writeback must fully restore the weakest cell (several
 		// time constants of the access-device/cell RC).
-		m.TRestore = 2.3*(rSA+rBL/2)*cBL + 5.2*rAcc*cell.Cs
+		m.tRestore = 2.3*(rSA+rBL/2)*cBL + 5.2*rAcc*cell.Cs
 		// Wordline must fall before the bitline pair equalizes back
 		// to Vdd/2, with margin.
-		m.TPrecharge = m.TWordline + 3.0*(rSA+rBL/2)*cBL
+		m.tPrecharge = m.tWordline + 3.0*(rSA+rBL/2)*cBL
 	} else {
 		pre := circuit.NewInverter(per, 30*per.Lphy)
 		// Recover the small read swing back to the rail: the
 		// perturbation is SenseVmin, so one time constant with
 		// margin suffices.
-		m.TPrecharge = 1.2 * (pre.DriveRes() + rBL/2) * cBL
+		m.tPrecharge = 1.2 * (pre.DriveRes() + rBL/2) * cBL
 	}
 
-	// ---- Energy ----
+	// ---- Energy (mux-independent terms) ----
 	vdd := cell.Vdd
-	var eBLAct float64
 	if isDRAM {
 		// Activation swings every bitline in the subarray: charge
 		// redistribution plus sensing plus the full-rail restore
 		// amounts to roughly a full Vdd swing per pair — and the
 		// destructive readout means every cell of the row must be
 		// written back (half CsVdd^2 each).
-		eBLAct = float64(cfg.Cols) * (cBL*vdd*vdd + 0.5*cell.Cs*vdd*vdd)
+		m.eBLAct = float64(cfg.Cols) * (cBL*vdd*vdd + 0.5*cell.Cs*vdd*vdd)
 	} else {
 		// Read discharge: only the selected columns' bitlines swing
 		// by the sense margin... but all columns are precharged and
 		// the accessed row discharges all of them slightly; CACTI
 		// charges the full column count at the read swing.
-		eBLAct = float64(cfg.Cols) * cBL * cell.SenseVmin * vdd
+		m.eBLAct = float64(cfg.Cols) * cBL * cell.SenseVmin * vdd
 	}
-	// All four subarrays of the mat activate together.
-	m.EActivate = float64(subarraysPerMat) * (dec.Res.Energy + wlChain.Res.Energy + eWL + eBLAct + sa.Energy)
-	m.ERead = float64(subarraysPerMat) * (colSel.Res.Energy +
-		float64(m.DataBitsOut/subarraysPerMat)*20e-15*per.Vdd*per.Vdd)
+	m.eActPrefix = dec.Res.Energy + wlChain.Res.Energy + m.eWL + m.eBLAct
 	// Writing one bit drives its bitline pair full swing.
-	m.EWritePerBit = cBL * vdd * vdd * 0.5
-	m.EWrite = m.ERead + float64(m.DataBitsOut)*m.EWritePerBit
+	m.eWritePerBit = cBL * vdd * vdd * 0.5
 	if isDRAM {
-		m.EPrecharge = float64(subarraysPerMat) * float64(cfg.Cols) * cBL * (vdd / 2) * (vdd / 2)
+		m.ePrecharge = float64(subarraysPerMat) * float64(cfg.Cols) * cBL * (vdd / 2) * (vdd / 2)
 	} else {
-		m.EPrecharge = float64(subarraysPerMat) * float64(cfg.Cols) * cBL * cell.SenseVmin * vdd * 0.5
+		m.ePrecharge = float64(subarraysPerMat) * float64(cfg.Cols) * cBL * cell.SenseVmin * vdd * 0.5
 	}
 
-	// ---- Leakage ----
-	var cellLeak float64
+	// ---- Leakage (mux-independent terms) ----
 	if !isDRAM {
 		// 6T cell: access + pull-down/pull-up subthreshold paths,
 		// plus two access transistors per extra port.
-		cellLeak = vdd * acc.IoffN * cell.AccessWidth * (4.5 + 2*float64(cfg.Ports-1))
+		m.cellLeak = vdd * acc.IoffN * cell.AccessWidth * (4.5 + 2*float64(cfg.Ports-1))
 	}
-	nCells := float64(subarraysPerMat) * float64(cfg.Rows) * float64(cfg.Cols)
-	m.Leakage = nCells*cellLeak +
-		float64(subarraysPerMat)*(dec.Res.Leakage+wlChain.Res.Leakage*float64(cfg.Rows)+sa.Leakage+colSel.Res.Leakage)
+	m.nCells = float64(subarraysPerMat) * float64(cfg.Rows) * float64(cfg.Cols)
+	m.leakStaticPrefix = dec.Res.Leakage + wlChain.Res.Leakage*float64(cfg.Rows)
+
+	// ---- Geometry (mux-independent part) ----
+	// Central vertical strip holds the predecoder plus one wordline
+	// driver per wordline (4*Rows of them), each folded to the cell
+	// height (pitch matching).
+	drvWidths := make([]float64, 0, 2*len(wlChain.Stages))
+	for _, st := range wlChain.Stages {
+		drvWidths = append(drvWidths, st.Wn, st.Wp)
+	}
+	wlDrvArea := circuit.GateArea(per, drvWidths, cellH)
+	decStripArea := 2*dec.Res.Area + float64(subarraysPerMat*cfg.Rows)*wlDrvArea
+	m.decWidth = decStripArea / (2 * saHeight)
+	m.cellArea = float64(subarraysPerMat) * saWidth * saHeight
+	m.width = 2*saWidth + m.decWidth
+	return m, nil
+}
+
+// Build completes the mat model for one column-mux degree, reusing
+// every mux-independent quantity of the Shared stage. It returns
+// ErrBadConfig when cols is not divisible by mux.
+func (s *Shared) Build(mux int) (*Mat, error) {
+	if mux < 1 {
+		mux = 1
+	}
+	if s.cfg.Cols%mux != 0 {
+		return nil, fmt.Errorf("%w: cols %d not divisible by mux degree %d", ErrBadConfig, s.cfg.Cols, mux)
+	}
+	cfg := s.cfg
+	cfg.DegBLMux = mux
+	t := cfg.Tech
+	cell, per := s.cell, s.per
+
+	m := &Mat{Config: cfg}
+	m.Width = s.width
+	m.CellArea = s.cellArea
+	m.CBitline = s.cBitline
+	m.VSignal = s.vSignal
+	m.TDecoder = s.tDecoder
+	m.TWordline = s.tWordline
+	m.TBitline = s.tBitline
+	m.TRestore = s.tRestore
+	m.TPrecharge = s.tPrecharge
+	m.EWritePerBit = s.eWritePerBit
+	m.EPrecharge = s.ePrecharge
+
+	// ---- Sense amplifiers ----
+	nSA := cfg.Cols
+	if !s.isDRAM {
+		nSA = cfg.Cols / cfg.DegBLMux
+	}
+	sa := circuit.SenseAmp(t, per, nSA, s.cellW*float64(cfg.DegBLMux))
+	m.TSense = sa.Delay
+
+	// ---- Column mux / data-out path ----
+	m.DataBitsOut = cfg.Cols / cfg.DegBLMux * subarraysPerMat
+	colSel := circuit.NewDecoder(per, cfg.DegBLMux, 20e-15,
+		s.colSelWireCap, s.colSelWireRes)
+	if cfg.DegBLMux > 1 {
+		m.TColumnMux = colSel.Res.Delay / 2 // overlaps with sensing partially
+	} else {
+		m.TColumnMux = 0
+	}
+
+	// ---- Energy ----
+	// All four subarrays of the mat activate together.
+	m.EActivate = float64(subarraysPerMat) * (s.eActPrefix + sa.Energy)
+	m.ERead = float64(subarraysPerMat) * (colSel.Res.Energy +
+		float64(m.DataBitsOut/subarraysPerMat)*20e-15*per.Vdd*per.Vdd)
+	m.EWrite = m.ERead + float64(m.DataBitsOut)*m.EWritePerBit
+
+	// ---- Leakage ----
+	m.Leakage = s.nCells*s.cellLeak +
+		float64(subarraysPerMat)*(s.leakStaticPrefix+sa.Leakage+colSel.Res.Leakage)
 
 	// ---- Refresh ----
-	if isDRAM {
+	if s.isDRAM {
 		// Every row of every subarray must be activated and
 		// precharged once per retention period.
 		ePerRowRefresh := (m.EActivate + m.EPrecharge) / float64(subarraysPerMat)
@@ -324,23 +427,12 @@ func New(cfg Config) (*Mat, error) {
 	}
 
 	// ---- Geometry ----
-	// Central vertical strip holds the predecoder plus one wordline
-	// driver per wordline (4*Rows of them), each folded to the cell
-	// height (pitch matching). Sense strips (amps + precharge +
-	// write drivers + column mux) run under each subarray pair.
-	var drvWidths []float64
-	for _, st := range wlChain.Stages {
-		drvWidths = append(drvWidths, st.Wn, st.Wp)
-	}
-	wlDrvArea := circuit.GateArea(per, drvWidths, cellH)
-	decStripArea := 2*dec.Res.Area + float64(subarraysPerMat*cfg.Rows)*wlDrvArea
-	decWidth := decStripArea / (2 * saHeight)
-	// Sense strip: amps pitch-matched to the column pitch, plus 60%
-	// for precharge/equalize, write drivers and the column mux.
-	saStripH := 1.6 * sa.Area / saWidth
-	m.CellArea = float64(subarraysPerMat) * saWidth * saHeight
-	m.Width = 2*saWidth + decWidth
-	m.Height = 2*saHeight + 2*saStripH
+	// Sense strips (amps + precharge + write drivers + column mux)
+	// run under each subarray pair: amps pitch-matched to the column
+	// pitch, plus 60% for precharge/equalize, write drivers and the
+	// column mux.
+	saStripH := 1.6 * sa.Area / s.saWidth
+	m.Height = 2*s.saHeight + 2*saStripH
 	m.Area = m.Width * m.Height
 	return m, nil
 }

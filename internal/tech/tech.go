@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Node identifies a process technology node by its feature size in
@@ -296,7 +297,39 @@ func New(n Node) *Technology {
 		c := *t
 		return &c
 	}
-	return interpolate(n)
+	c := *interpolated(n)
+	return &c
+}
+
+// interpolated memoizes interpolate: building a Technology for a
+// non-ITRS node walks every device, wire and cell table through
+// log-space mixing, which dominates repeated solves at such nodes.
+// Technology holds only scalar arrays, so the value copy New hands
+// out is a full deep copy and callers can never alias the memo.
+var interpMemo struct {
+	sync.RWMutex
+	m map[Node]*Technology
+}
+
+func interpolated(n Node) *Technology {
+	interpMemo.RLock()
+	t, ok := interpMemo.m[n]
+	interpMemo.RUnlock()
+	if ok {
+		return t
+	}
+	t = interpolate(n)
+	interpMemo.Lock()
+	if prev, ok := interpMemo.m[n]; ok {
+		t = prev // a racing builder won; keep one canonical entry
+	} else {
+		if interpMemo.m == nil {
+			interpMemo.m = make(map[Node]*Technology)
+		}
+		interpMemo.m[n] = t
+	}
+	interpMemo.Unlock()
+	return t
 }
 
 // nodesSorted returns the base nodes in descending feature size.
