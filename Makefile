@@ -1,11 +1,17 @@
 # Tier-1 verify is `go build ./... && go test ./...` (ROADMAP.md);
-# `make verify` runs that plus vet and the race detector over the
-# concurrent packages (the exploration engine, the parallel
-# organization enumeration, the memoized tech tables, and the server).
+# `make verify` runs that plus vet, the repository's own static-
+# analysis suite (cmd/cactid-lint) and the race detector over every
+# package.
 
-.PHONY: verify build test vet race bench bench-sweep
+# Tool versions are pinned here so CI and local runs agree. The repo
+# has no module dependencies, so there is no tools.go; external tools
+# are fetched by version at the point of use (network required — CI
+# only, see .github/workflows/ci.yml).
+GOVULNCHECK_VERSION := v1.1.4
 
-verify: vet build test race
+.PHONY: verify build test vet lint race vulncheck bench bench-sweep
+
+verify: vet lint build test race
 
 build:
 	go build ./...
@@ -16,8 +22,19 @@ test:
 vet:
 	go vet ./...
 
+# lint runs the in-repo analyzer suite: floatdet, ctxflow, lockguard,
+# unitname (see internal/analysis and DESIGN.md §1.3). It needs no
+# network: the suite is built from this module's own source.
+lint:
+	go run ./cmd/cactid-lint ./...
+
 race:
-	go test -race ./internal/explore ./internal/core ./internal/array ./internal/tech ./cmd/cactid-serve
+	go test -race ./...
+
+# vulncheck scans the module against the Go vulnerability database.
+# Requires network; run from CI or a connected workstation.
+vulncheck:
+	go run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 # bench runs the single-solve hot-path benchmark (BENCH_solve.json
 # tracks its before/after numbers; compare runs with

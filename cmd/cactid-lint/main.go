@@ -1,0 +1,126 @@
+// Command cactid-lint runs the repository's custom static-analysis
+// suite (internal/analysis): floatdet, ctxflow, lockguard and
+// unitname. These analyzers mechanically enforce the invariants the
+// model's trustworthiness rests on — deterministic float paths,
+// propagated cancellation, annotated lock discipline, and consistent
+// unit naming.
+//
+// Usage:
+//
+//	cactid-lint [-run name[,name...]] [-json] [-list] [packages ...]
+//
+// Packages default to ./... relative to the current directory. The
+// exit status is 0 when clean, 1 when any diagnostic is reported, and
+// 2 on a loading or internal error. Deliberate exceptions are
+// suppressed in source with:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// on the offending line or the line directly above it; the reason is
+// mandatory and an unused suppression is itself a finding.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cactid/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("cactid-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runNames != "" {
+		analyzers = selectAnalyzers(analyzers, *runNames)
+		if len(analyzers) == 0 {
+			fmt.Fprintf(stderr, "cactid-lint: no analyzers match -run=%s\n", *runNames)
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "cactid-lint: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "cactid-lint: %v\n", err)
+		return 2
+	}
+
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := analysis.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "cactid-lint: %v\n", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+	}
+
+	if *asJSON {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{
+				File: d.Position.Filename, Line: d.Position.Line, Column: d.Position.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "cactid-lint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(all []*analysis.Analyzer, names string) []*analysis.Analyzer {
+	want := map[string]bool{}
+	for _, n := range strings.Split(names, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

@@ -43,7 +43,7 @@ func main() {
 	flag.IntVar(&cfg.maxInFlight, "max-inflight", 32, "max concurrently served /v1 requests (excess gets 503)")
 	flag.IntVar(&cfg.maxPoints, "max-points", 4096, "largest accepted sweep grid")
 	flag.IntVar(&cfg.workers, "workers", 0, "solver pool size (0 = GOMAXPROCS)")
-	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof handlers under /debug/pprof/ (loopback clients only)")
 	flag.Parse()
 
 	srv := &http.Server{

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -110,17 +111,38 @@ func newServer(cfg config) *server {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.pprof {
-		// Ungated: profiling must stay reachable while /v1 is saturated.
-		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
-		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Ungated by the semaphore: profiling must stay reachable while
+		// /v1 is saturated. Loopback-only: the profile endpoints leak
+		// symbol tables, heap contents and command lines, so they are
+		// never served to non-local peers even when enabled.
+		s.mux.HandleFunc("/debug/pprof/", loopbackOnly(pprof.Index))
+		s.mux.HandleFunc("/debug/pprof/cmdline", loopbackOnly(pprof.Cmdline))
+		s.mux.HandleFunc("/debug/pprof/profile", loopbackOnly(pprof.Profile))
+		s.mux.HandleFunc("/debug/pprof/symbol", loopbackOnly(pprof.Symbol))
+		s.mux.HandleFunc("/debug/pprof/trace", loopbackOnly(pprof.Trace))
 	}
 	return s
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// loopbackOnly rejects requests whose peer address is not a loopback
+// interface. RemoteAddr is the transport-level peer as filled in by
+// net/http (not a spoofable header), so this confines the handler to
+// clients on the same host.
+func loopbackOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		host, _, err := net.SplitHostPort(r.RemoteAddr)
+		if err != nil {
+			host = r.RemoteAddr
+		}
+		if ip := net.ParseIP(host); ip == nil || !ip.IsLoopback() {
+			http.Error(w, `{"error":"pprof is loopback-only"}`, http.StatusForbidden)
+			return
+		}
+		h(w, r)
+	}
+}
 
 // gated wraps a /v1 handler with the request counters, the
 // concurrency bound, the per-request timeout and latency recording.

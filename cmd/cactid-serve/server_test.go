@@ -279,6 +279,28 @@ func TestPprofFlagGatesDebugHandlers(t *testing.T) {
 	}
 }
 
+func TestPprofRejectsNonLoopbackPeers(t *testing.T) {
+	s := newServer(config{pprof: true})
+	for _, remote := range []string{"203.0.113.9:4242", "[2001:db8::1]:4242", "10.0.0.7:80"} {
+		req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+		req.RemoteAddr = remote
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusForbidden {
+			t.Errorf("pprof from %s: got %d, want 403", remote, rec.Code)
+		}
+	}
+	for _, remote := range []string{"127.0.0.1:4242", "[::1]:4242"} {
+		req := httptest.NewRequest("GET", "/debug/pprof/", nil)
+		req.RemoteAddr = remote
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Errorf("pprof from %s: got %d, want 200", remote, rec.Code)
+		}
+	}
+}
+
 func TestConcurrencyBoundRejectsExcess(t *testing.T) {
 	slow := func(_ context.Context, spec core.Spec) (*core.Solution, error) {
 		time.Sleep(150 * time.Millisecond)

@@ -38,31 +38,31 @@ func parseMode(s string) (core.AccessMode, error) { return explore.ParseMode(s) 
 
 func main() {
 	var (
-		size    = flag.String("size", "1MB", "capacity (e.g. 32KB, 4MB; for -chip: 1Gb as 128MB)")
-		block   = flag.Int("block", 64, "block size in bytes")
-		assoc   = flag.Int("assoc", 1, "associativity (1 = direct-mapped / plain memory)")
-		banks   = flag.Int("banks", 1, "number of banks")
-		node    = flag.Int("node", 32, "technology node in nm (32-90)")
-		ram     = flag.String("ram", "sram", "memory technology: sram, lp-dram, comm-dram")
-		isCache = flag.Bool("cache", true, "model a cache (tags + way select)")
-		mode    = flag.String("mode", "normal", "access mode: normal, sequential, or fast")
-		page    = flag.Int("page", 0, "DRAM page size in bits (0 = unconstrained)")
-		pipe    = flag.Int("pipeline", 8, "max pipeline stages")
-		maxArea = flag.Float64("maxarea", 0.4, "max area constraint (fraction over best)")
-		maxAcc  = flag.Float64("maxacctime", 0.1, "max access time constraint")
-		slack   = flag.Float64("repeaterslack", 0, "max repeater delay slack")
-		sleep   = flag.Bool("sleep", false, "model sleep transistors")
+		size      = flag.String("size", "1MB", "capacity (e.g. 32KB, 4MB; for -chip: 1Gb as 128MB)")
+		block     = flag.Int("block", 64, "block size in bytes")
+		assoc     = flag.Int("assoc", 1, "associativity (1 = direct-mapped / plain memory)")
+		banks     = flag.Int("banks", 1, "number of banks")
+		node      = flag.Int("node", 32, "technology node in nm (32-90)")
+		ram       = flag.String("ram", "sram", "memory technology: sram, lp-dram, comm-dram")
+		isCache   = flag.Bool("cache", true, "model a cache (tags + way select)")
+		mode      = flag.String("mode", "normal", "access mode: normal, sequential, or fast")
+		page      = flag.Int("page", 0, "DRAM page size in bits (0 = unconstrained)")
+		pipe      = flag.Int("pipeline", 8, "max pipeline stages")
+		maxArea   = flag.Float64("maxarea", 0.4, "max area constraint (fraction over best)")
+		maxAcc    = flag.Float64("maxacctime", 0.1, "max access time constraint")
+		slack     = flag.Float64("repeaterslack", 0, "max repeater delay slack")
+		sleep     = flag.Bool("sleep", false, "model sleep transistors")
 		doExplore = flag.Bool("explore", false, "print the full solution space")
-		report  = flag.Bool("report", false, "print the detailed CACTI-style breakdown")
-		asJSON  = flag.Bool("json", false, "print the solution as JSON")
-		table1  = flag.Bool("table1", false, "print the Table 1 technology characteristics")
-		chip    = flag.Bool("chip", false, "model a main-memory DRAM chip")
-		pins    = flag.Int("pins", 8, "chip: data pins (x4/x8/x16)")
-		burst   = flag.Int("burst", 8, "chip: burst length")
-		rate    = flag.Float64("rate", 1066, "chip: data rate in MT/s")
-		idd     = flag.Bool("idd", false, "chip: also print the datasheet-style IDD report")
-		cpuprof = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		report    = flag.Bool("report", false, "print the detailed CACTI-style breakdown")
+		asJSON    = flag.Bool("json", false, "print the solution as JSON")
+		table1    = flag.Bool("table1", false, "print the Table 1 technology characteristics")
+		chip      = flag.Bool("chip", false, "model a main-memory DRAM chip")
+		pins      = flag.Int("pins", 8, "chip: data pins (x4/x8/x16)")
+		burst     = flag.Int("burst", 8, "chip: burst length")
+		rate      = flag.Float64("rate", 1066, "chip: data rate in MT/s")
+		idd       = flag.Bool("idd", false, "chip: also print the datasheet-style IDD report")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 

@@ -1,0 +1,25 @@
+package analysis
+
+import "testing"
+
+func TestFloatDet(t *testing.T)  { runFixture(t, FloatDet, "floatdet.go") }
+func TestCtxFlow(t *testing.T)   { runFixture(t, CtxFlow, "ctxflow.go") }
+func TestLockGuard(t *testing.T) { runFixture(t, LockGuard, "lockguard.go") }
+func TestUnitName(t *testing.T)  { runFixture(t, UnitName, "unitname.go") }
+
+func TestAllRegistered(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("expected 4 analyzers, got %d", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture harness is a miniature analysistest: each file under
+// testdata/ is parsed and type-checked on its own (stdlib imports
+// resolve through the source importer, so no build cache or network
+// is needed), the analyzer under test runs, and its diagnostics are
+// matched against `// want "substring"` comments on the offending
+// lines. Unmatched diagnostics and unsatisfied wants both fail.
+
+var (
+	fixtureFset = token.NewFileSet()
+	fixtureImp  = sync.OnceValue(func() types.Importer {
+		return importer.ForCompiler(fixtureFset, "source", nil)
+	})
+)
+
+var wantRE = regexp.MustCompile(`// want (".*")\s*$`)
+var wantStrRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// runFixture applies one analyzer to one testdata file and compares
+// diagnostics (after suppression filtering) with want comments.
+func runFixture(t *testing.T, a *Analyzer, filename string) {
+	t.Helper()
+	path := filepath.Join("testdata", filename)
+	f, err := parser.ParseFile(fixtureFset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: fixtureImp()}
+	tpkg, err := conf.Check("fixture/"+strings.TrimSuffix(filename, ".go"), fixtureFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	pkg := &Package{
+		ImportPath: tpkg.Path(),
+		Fset:       fixtureFset,
+		Files:      []*ast.File{f},
+		Types:      tpkg,
+		Info:       info,
+	}
+	diags, err := RunPackage(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	wants := fixtureWants(t, f)
+	for _, d := range diags {
+		line := d.Position.Line
+		ws := wants[line]
+		matched := false
+		for i, w := range ws {
+			if w != "" && strings.Contains(d.Message, w) {
+				ws[i] = "" // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", fmt.Sprintf("%s:%d", filename, line), d.Message)
+		}
+	}
+	for line, ws := range wants {
+		for _, w := range ws {
+			if w != "" {
+				t.Errorf("%s:%d: no diagnostic matched want %q", filename, line, w)
+			}
+		}
+	}
+}
+
+// fixtureWants maps line numbers to the expected message substrings.
+func fixtureWants(t *testing.T, f *ast.File) map[int][]string {
+	t.Helper()
+	wants := map[int][]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fixtureFset.Position(c.Pos()).Line
+			for _, s := range wantStrRE.FindAllStringSubmatch(m[1], -1) {
+				wants[line] = append(wants[line], s[1])
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,69 @@
+// Fixture for the unitname analyzer.
+package fixture
+
+// Cross-dimension mixing.
+func dims(delayNs float64, capFF float64) bool {
+	return delayNs < capFF // want "mismatched dimensions"
+}
+
+// Same dimension, different scale: a dropped conversion factor.
+func scales(tRCDns, setupPs float64) float64 {
+	return tRCDns + setupPs // want "mismatched scales"
+}
+
+func assignMismatch(energyNJ float64) {
+	var readPJ float64
+	readPJ = energyNJ // want "mismatched scales"
+	_ = readPJ
+}
+
+func declMismatch(areaMM2 float64) {
+	var areaUm2 = areaMM2 // want "mismatched scales"
+	_ = areaUm2
+}
+
+// Matching units are fine.
+func matched(aNs, bNs float64) bool {
+	return aNs < bNs
+}
+
+// Multiplication and division are unit algebra, not mixing.
+func algebra(rOhm, cFF float64) float64 {
+	return rOhm * cFF
+}
+
+// One-sided names carry no claim.
+func oneSided(delayNs, x float64) float64 {
+	return delayNs + x
+}
+
+// snake_case boundaries are recognized too.
+func snake(area_mm2, area_um2 float64) float64 {
+	return area_mm2 - area_um2 // want "mismatched scales"
+}
+
+// Plural words and acronyms must not be mistaken for units: FPUs is
+// not microseconds, and ns alone (a bare word) is not a suffix.
+func falsePositives(FPUs int, ns []int, cores int) int {
+	if FPUs > cores {
+		return len(ns)
+	}
+	return 0
+}
+
+// Selector fields carry units like locals do.
+type timing struct {
+	TRCDns  float64
+	CASps   float64
+	AreaMM2 float64
+}
+
+func selectors(t timing) float64 {
+	return t.TRCDns + t.CASps // want "mismatched scales"
+}
+
+// Deliberate mixed-scale comparison, documented.
+func suppressed(t timing, marginPs float64) bool {
+	//lint:ignore unitname margin is pre-scaled by the caller, see calibration note
+	return t.TRCDns > marginPs
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// UnitName catches silent unit bugs — the failure mode an analytical
+// model is most prone to. Identifiers that carry a unit suffix
+// (latencyNs, energyNJ, areaMM2, pitchNm, rOhm, ...) declare their
+// dimension and scale in their name; assigning or comparing two such
+// identifiers whose suffixes disagree (ns vs ps, nJ vs pJ, nm vs mm2)
+// is almost always a dropped conversion factor. Multiplication and
+// division are exempt: unit algebra legitimately mixes dimensions.
+//
+// A suffix is recognized only at a camelCase or snake_case boundary
+// (latSumNS, PauseTotalNs, area_mm2), never inside a plain word, and
+// only when the identifier is numeric.
+var UnitName = &Analyzer{
+	Name: "unitname",
+	Doc:  "identifiers carrying unit suffixes must not be assigned or compared across mismatched units",
+	Run:  runUnitName,
+}
+
+// unit is a recognized suffix: a dimension plus a scale within it.
+type unit struct {
+	dim   string
+	scale string // the canonical lowercase suffix, e.g. "ns"
+}
+
+// unitSuffixes maps lowercase suffixes to their dimension. Scale
+// differences within a dimension (ns vs ps) are mismatches too.
+var unitSuffixes = map[string]string{
+	"ns": "time", "ps": "time", "us": "time", "ms": "time",
+	"hz": "frequency", "khz": "frequency", "mhz": "frequency", "ghz": "frequency",
+	"ff": "capacitance", "pf": "capacitance", "nf": "capacitance", "uf": "capacitance",
+	"fj": "energy", "pj": "energy", "nj": "energy", "uj": "energy", "mj": "energy",
+	"ohm": "resistance", "kohm": "resistance",
+	"nm": "length", "um": "length", "mm": "length",
+	"nm2": "area", "um2": "area", "mm2": "area",
+	"nw": "power", "uw": "power", "mw": "power", "kw": "power",
+	"mv": "voltage", "uv": "voltage",
+	"na": "current", "ua": "current", "ma": "current",
+}
+
+// suffixesByLen holds the suffixes longest-first so mm2 wins over mm.
+var suffixesByLen = func() []string {
+	out := make([]string, 0, len(unitSuffixes))
+	for s := range unitSuffixes {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i]) != len(out[j]) {
+			return len(out[i]) > len(out[j])
+		}
+		return out[i] < out[j]
+	})
+	return out
+}()
+
+func runUnitName(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+						checkUnitPair(pass, n.Pos(), lhs, n.Rhs[i], "assigned to")
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range n.Names {
+					if i < len(n.Values) {
+						checkUnitPair(pass, n.Pos(), name, n.Values[i], "assigned to")
+					}
+				}
+			case *ast.BinaryExpr:
+				switch n.Op {
+				case token.ADD, token.SUB, token.EQL, token.NEQ,
+					token.LSS, token.GTR, token.LEQ, token.GEQ:
+					checkUnitPair(pass, n.Pos(), n.X, n.Y, n.Op.String()+"-combined with")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkUnitPair reports when both expressions resolve to unit-carrying
+// numeric identifiers whose units disagree.
+func checkUnitPair(pass *Pass, pos token.Pos, a, b ast.Expr, verb string) {
+	ua, na, ok := exprUnit(pass, a)
+	if !ok {
+		return
+	}
+	ub, nb, ok := exprUnit(pass, b)
+	if !ok {
+		return
+	}
+	if ua == ub {
+		return
+	}
+	if ua.dim != ub.dim {
+		pass.Report(pos, "%s (%s) %s %s (%s): mismatched dimensions", nb, ub.dim, verb, na, ua.dim)
+		return
+	}
+	pass.Report(pos, "%s (%s) %s %s (%s): same dimension, mismatched scales — missing conversion factor?",
+		nb, ub.scale, verb, na, ua.scale)
+}
+
+// exprUnit resolves an identifier or selector to its unit suffix.
+func exprUnit(pass *Pass, e ast.Expr) (unit, string, bool) {
+	var name string
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		name = e.Name
+	case *ast.SelectorExpr:
+		name = e.Sel.Name
+	default:
+		return unit{}, "", false
+	}
+	if !isNumeric(pass.TypesInfo.TypeOf(e)) {
+		return unit{}, "", false
+	}
+	u, ok := nameUnit(name)
+	return u, name, ok
+}
+
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// nameUnit extracts a unit suffix from an identifier name. The suffix
+// must start at a word boundary: an uppercase rune following a
+// non-uppercase rune, or the character after an underscore, and must
+// not be the whole name.
+func nameUnit(name string) (unit, bool) {
+	lower := strings.ToLower(name)
+	for _, s := range suffixesByLen {
+		if len(name) <= len(s) || !strings.HasSuffix(lower, s) {
+			continue
+		}
+		i := len(name) - len(s)
+		if name[i-1] == '_' {
+			return unit{dim: unitSuffixes[s], scale: s}, true
+		}
+		first := rune(name[i])
+		prev := rune(name[i-1])
+		if unicode.IsUpper(first) && !unicode.IsUpper(prev) {
+			return unit{dim: unitSuffixes[s], scale: s}, true
+		}
+		// Lowercase suffix ending an acronym run: tRCDns, CASps. The
+		// suffix must be all-lowercase in the original spelling, so
+		// plural acronyms (RAMs, CPUs) stay words.
+		if unicode.IsLower(first) && unicode.IsUpper(prev) && name[i:] == s {
+			return unit{dim: unitSuffixes[s], scale: s}, true
+		}
+		// All-caps tail after a lowercase run: latSumNS, DynReadNJ.
+		if unicode.IsUpper(first) && unicode.IsUpper(prev) {
+			// Walk back: the suffix must be exactly the trailing
+			// uppercase/digit run, e.g. NS in latSumNS — but not a
+			// fragment of a longer acronym.
+			j := i
+			for j > 0 && (unicode.IsUpper(rune(name[j-1])) || unicode.IsDigit(rune(name[j-1]))) {
+				j--
+			}
+			if j == i {
+				return unit{dim: unitSuffixes[s], scale: s}, true
+			}
+		}
+		return unit{}, false
+	}
+	return unit{}, false
+}

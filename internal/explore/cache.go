@@ -22,7 +22,7 @@ type entry struct {
 
 type cacheShard struct {
 	mu sync.Mutex
-	m  map[string]*entry
+	m  map[string]*entry // guarded by mu
 }
 
 // Cache is a sharded solution cache keyed by core.Spec fingerprints.
@@ -36,6 +36,7 @@ type Cache struct {
 func NewCache() *Cache {
 	c := &Cache{}
 	for i := range c.shards {
+		//lint:ignore lockguard c is not published yet; the constructor runs single-threaded
 		c.shards[i].m = make(map[string]*entry)
 	}
 	return c

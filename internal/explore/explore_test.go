@@ -175,7 +175,7 @@ func TestSweepRecordsPerPointErrors(t *testing.T) {
 	specs := []core.Spec{
 		{RAM: tech.SRAM, CapacityBytes: 64 << 10, BlockBytes: 64, Node: tech.Node32},
 		{RAM: tech.COMMDRAM, CapacityBytes: 1 << 20, BlockBytes: 64, PageBits: 7, Node: tech.Node32}, // no solution
-		{RAM: tech.SRAM, CapacityBytes: -1, BlockBytes: 64}, // invalid spec
+		{RAM: tech.SRAM, CapacityBytes: -1, BlockBytes: 64},                                          // invalid spec
 	}
 	res := e.Sweep(context.Background(), specs)
 	if res[0].Err != nil || res[0].Solution == nil {

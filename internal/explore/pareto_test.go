@@ -24,11 +24,11 @@ func fakeResult(idx int, fp string, acc, energy, leak, area float64) Result {
 
 func TestFrontierDropsDominatedPoints(t *testing.T) {
 	results := []Result{
-		fakeResult(0, "a", 1, 1, 1, 1),            // frontier
-		fakeResult(1, "b", 2, 2, 2, 2),            // dominated by a
-		fakeResult(2, "c", 0.5, 3, 3, 3),          // frontier: fastest
-		fakeResult(3, "d", 3, 0.5, 3, 3),          // frontier: lowest energy
-		fakeResult(4, "e", 1, 1, 1, 1.0001),       // dominated by a (tie on 3 axes)
+		fakeResult(0, "a", 1, 1, 1, 1),             // frontier
+		fakeResult(1, "b", 2, 2, 2, 2),             // dominated by a
+		fakeResult(2, "c", 0.5, 3, 3, 3),           // frontier: fastest
+		fakeResult(3, "d", 3, 0.5, 3, 3),           // frontier: lowest energy
+		fakeResult(4, "e", 1, 1, 1, 1.0001),        // dominated by a (tie on 3 axes)
 		{Index: 5, Err: errors.New("no solution")}, // dropped
 	}
 	f := Frontier(results)

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"testing"
+
+	"cactid/internal/sim/workload"
+)
+
+// TestRunPinnedOutputs pins one small run to its exact event counts.
+// TestDeterminism already proves same-process reproducibility; this
+// pin extends the guarantee across builds and machines — the
+// simulator must not depend on map iteration order, address layout,
+// or scheduling, so these integers are stable until the model itself
+// changes (in which case update them in the same commit).
+func TestRunPinnedOutputs(t *testing.T) {
+	p, _ := workload.ByName("ft.B")
+	r := Run(testConfig(p, l3For(6<<20), 500_000))
+	pins := []struct {
+		name string
+		got  int64
+		want int64
+	}{
+		{"Cycles", r.Cycles, 248457},
+		{"Instrs", r.Instrs, 374426},
+		{"L2Accesses", int64(r.Events.L2Accesses), 64627},
+		{"L3Misses", int64(r.Events.L3Misses), 15024},
+	}
+	for _, p := range pins {
+		if p.got != p.want {
+			t.Errorf("%s = %d, pinned %d", p.name, p.got, p.want)
+		}
+	}
+}

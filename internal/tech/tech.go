@@ -308,7 +308,7 @@ func New(n Node) *Technology {
 // out is a full deep copy and callers can never alias the memo.
 var interpMemo struct {
 	sync.RWMutex
-	m map[Node]*Technology
+	m map[Node]*Technology // guarded by RWMutex
 }
 
 func interpolated(n Node) *Technology {

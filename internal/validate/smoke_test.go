@@ -1,0 +1,41 @@
+package validate
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMicronPinnedOutputs pins the Table 2 model outputs to the values
+// the current model produces. The tolerance is far tighter than the
+// model-vs-datasheet validation band: this test is not about accuracy,
+// it is a determinism tripwire. Any change to the DRAM model, the
+// 78 nm interpolated technology tables, or float evaluation order
+// shows up here as a precise diff, so a deliberate model change must
+// update these constants in the same commit.
+func TestMicronPinnedOutputs(t *testing.T) {
+	rows, c, err := Micron()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pins := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"Timing.TRCD", c.Timing.TRCD, 1.313321e-08},
+		{"Timing.CAS", c.Timing.CAS, 1.125704e-08},
+		{"Timing.TRC", c.Timing.TRC, 4.878049e-08},
+		{"EActivate", c.EActivate, 3.131905e-09},
+		{"ERead", c.ERead, 1.607000e-09},
+		{"AreaEff", c.AreaEff, 0.563650},
+		{"RefreshPower", c.RefreshPower, 3.962336e-03},
+		{"AvgAbsError", AvgAbsError(rows), 0.057189},
+	}
+	const relTol = 1e-5 // the pins above carry 7 significant digits
+	for _, p := range pins {
+		if math.Abs(p.got-p.want) > relTol*math.Abs(p.want) {
+			t.Errorf("%s = %.6e, pinned %.6e (rel err %.2e)",
+				p.name, p.got, p.want, math.Abs(p.got-p.want)/math.Abs(p.want))
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package validate
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -50,11 +51,15 @@ const (
 	xeonL3Clock      = 1.7e9 // accesses/s at activity factor 1.0
 )
 
-// Xeon runs the Figure 1 validation: it sweeps the optimization
+// Xeon runs the Figure 1 validation with no cancellation.
+func Xeon() (*XeonResult, error) { return XeonContext(context.Background()) }
+
+// XeonContext runs the Figure 1 validation: it sweeps the optimization
 // constraints (max area, max access time, max repeater delay) within
 // reasonable bounds, as the paper describes, and reports the solution
-// bubbles alongside the target.
-func Xeon() (*XeonResult, error) {
+// bubbles alongside the target. The sweep runs 18 full solves; ctx
+// cancels between (and, via the solver's worker pools, within) them.
+func XeonContext(ctx context.Context) (*XeonResult, error) {
 	r := &XeonResult{
 		Targets: []Bubble{
 			{Label: "Xeon L3 (dyn A)", AccessTime: xeonAccessTarget, Power: xeonDynTargetA + xeonLeakTarget, Area: xeonAreaTarget, IsTarget: true},
@@ -73,8 +78,11 @@ func Xeon() (*XeonResult, error) {
 					MaxAreaConstraint: maxArea, MaxAcctimeConstraint: maxAcc,
 					MaxRepeaterSlack: slack,
 				}
-				sols, err := core.Explore(spec)
+				sols, err := core.ExploreContext(ctx, spec, nil)
 				if err != nil {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
 					continue
 				}
 				filtered := core.Filter(spec, sols)
@@ -122,14 +130,17 @@ const (
 	sparcClock        = 1.6e9
 )
 
-// SPARC runs the 90 nm SPARC L2 validation.
-func SPARC() (*SPARCResult, error) {
-	sol, err := core.Optimize(core.Spec{
+// SPARC runs the 90 nm SPARC L2 validation with no cancellation.
+func SPARC() (*SPARCResult, error) { return SPARCContext(context.Background()) }
+
+// SPARCContext runs the 90 nm SPARC L2 validation.
+func SPARCContext(ctx context.Context) (*SPARCResult, error) {
+	sol, err := core.OptimizeContext(ctx, core.Spec{
 		Node: tech.Node90, RAM: tech.SRAM,
 		CapacityBytes: 4 << 20, BlockBytes: 64, Associativity: 4, Banks: 1,
 		IsCache: true, Mode: core.Normal,
 		MaxAreaConstraint: 0.3, MaxAcctimeConstraint: 0.3,
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -265,16 +276,19 @@ const (
 	edramEffectiveCycle = 2.0e-9
 )
 
-// EDRAMMacro validates the LP-DRAM model against the published
+// EDRAMMacro validates the LP-DRAM model with no cancellation.
+func EDRAMMacro() (*EDRAMResult, error) { return EDRAMMacroContext(context.Background()) }
+
+// EDRAMMacroContext validates the LP-DRAM model against the published
 // characteristics of IBM-class compilable eDRAM macros: a 2MB macro at
 // 90 nm operated with an SRAM-like interface and multisubbank
 // interleaving.
-func EDRAMMacro() (*EDRAMResult, error) {
-	sol, err := core.Optimize(core.Spec{
+func EDRAMMacroContext(ctx context.Context) (*EDRAMResult, error) {
+	sol, err := core.OptimizeContext(ctx, core.Spec{
 		Node: tech.Node90, RAM: tech.LPDRAM,
 		CapacityBytes: 2 << 20, BlockBytes: 32, Associativity: 1, Banks: 1,
 		MaxPipelineStages: 6, MaxAreaConstraint: 0.8, MaxAcctimeConstraint: 0.3,
-	})
+	}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package validate
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -107,5 +109,19 @@ func TestEDRAMMacroValidation(t *testing.T) {
 	// interleaved cycle (that is the point of multibank operation).
 	if r.RandomCycle <= r.InterleaveCycle {
 		t.Error("random cycle should exceed the interleave cycle")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := XeonContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("XeonContext on canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := SPARCContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("SPARCContext on canceled ctx: %v, want context.Canceled", err)
+	}
+	if _, err := EDRAMMacroContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Errorf("EDRAMMacroContext on canceled ctx: %v, want context.Canceled", err)
 	}
 }
