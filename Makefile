@@ -9,7 +9,7 @@
 # only, see .github/workflows/ci.yml).
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: verify build test vet lint race vulncheck bench bench-sweep
+.PHONY: verify build test vet lint race stress fuzz vulncheck bench bench-sweep
 
 verify: vet lint build test race
 
@@ -30,6 +30,24 @@ lint:
 
 race:
 	go test -race ./...
+
+# stress runs the chaos/overload suite under the race detector: the
+# fault-injection tests in internal/chaos and internal/explore plus
+# the cactid-serve admission-control and load-shedding tests.
+stress:
+	go test -race ./internal/chaos/
+	go test -race -run 'Chaos|Stranded|Overload|Drain|QueueWait|Deadline|Evict|MissStorm|InFlight' \
+		./internal/explore/ ./cmd/cactid-serve/
+
+# fuzz gives each native fuzz target a short randomized smoke run on
+# top of its checked-in corpus (`make test` replays the corpus only).
+# Go allows one -fuzz pattern per invocation, hence one line each.
+FUZZTIME ?= 20s
+fuzz:
+	go test -run '^$$' -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) ./internal/explore/
+	go test -run '^$$' -fuzz FuzzParseGrid -fuzztime $(FUZZTIME) ./internal/explore/
+	go test -run '^$$' -fuzz FuzzSolveBody -fuzztime $(FUZZTIME) ./cmd/cactid-serve/
+	go test -run '^$$' -fuzz FuzzLoadTrace -fuzztime $(FUZZTIME) ./internal/sim/workload/
 
 # vulncheck scans the module against the Go vulnerability database.
 # Requires network; run from CI or a connected workstation.

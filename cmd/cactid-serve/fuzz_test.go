@@ -1,0 +1,47 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cactid/internal/array"
+	"cactid/internal/core"
+)
+
+// FuzzSolveBody throws arbitrary bytes at the full /v1/solve handler
+// stack — admission gate, strict decode, spec compilation, engine,
+// response encoding — with a fake solver so no model work runs. The
+// contract under hostile input: never panic, never 5xx; every body is
+// answered 200, 400 or 422.
+func FuzzSolveBody(f *testing.F) {
+	f.Add([]byte(`{"ram":"sram","capacity":"64KB","associativity":4,"block_bytes":64,"node_nm":32}`))
+	f.Add([]byte(`{"ram":"lp-dram","capacity":"48MB","mode":"seq","page_bits":8192}`))
+	f.Add([]byte(`{"capacity":"1e308MB"}`))
+	f.Add([]byte(`{"weights":{"dynamic_energy":1,"leakage_power":0}}`))
+	f.Add([]byte(`{"ram":`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[]`))
+	f.Add([]byte("{\"ram\":\"sram\",\"capacity\":\"\x00KB\"}"))
+
+	fake := func(_ context.Context, spec core.Spec) (*core.Solution, error) {
+		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
+	}
+	s := newServer(config{solver: fake})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(string(data)))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity:
+		default:
+			t.Fatalf("/v1/solve answered %d for body %q", rec.Code, data)
+		}
+		if rec.Code != http.StatusOK && !strings.Contains(rec.Body.String(), "error") {
+			t.Fatalf("error response without an error body: %q", rec.Body.String())
+		}
+	})
+}

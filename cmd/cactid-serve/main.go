@@ -20,8 +20,12 @@
 //
 // Repeated and overlapping requests hit the fingerprint-keyed result
 // cache instead of re-running the solver; concurrent identical
-// requests are deduplicated in flight. Requests beyond -max-inflight
-// are rejected with 503 rather than queued, and SIGINT/SIGTERM drain
+// requests are deduplicated in flight, and the cache is bounded by
+// -cache-entries with LRU eviction. Requests beyond -max-inflight
+// join a bounded queue (-queue-depth, -queue-wait); when the queue is
+// full or the wait budget expires they are shed with 429 Too Many
+// Requests and a Retry-After hint. SIGINT/SIGTERM flips the server
+// into a draining state (healthz and /v1 answer 503) and drains
 // in-flight requests before exit.
 package main
 
@@ -40,15 +44,19 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.DurationVar(&cfg.timeout, "timeout", 60*time.Second, "per-request time budget")
-	flag.IntVar(&cfg.maxInFlight, "max-inflight", 32, "max concurrently served /v1 requests (excess gets 503)")
+	flag.IntVar(&cfg.maxInFlight, "max-inflight", 32, "max concurrently served /v1 requests")
+	flag.IntVar(&cfg.queueDepth, "queue-depth", 0, "requests queued beyond -max-inflight before 429 (-1 disables the queue, 0 = 2x max-inflight)")
+	flag.DurationVar(&cfg.queueWait, "queue-wait", 5*time.Second, "longest a queued request waits for a slot before 429")
 	flag.IntVar(&cfg.maxPoints, "max-points", 4096, "largest accepted sweep grid")
+	flag.IntVar(&cfg.cacheBound, "cache-entries", 0, "result-cache entry bound with LRU eviction (-1 = unbounded, 0 = default 16384)")
 	flag.IntVar(&cfg.workers, "workers", 0, "solver pool size (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof handlers under /debug/pprof/ (loopback clients only)")
 	flag.Parse()
 
+	s := newServer(cfg)
 	srv := &http.Server{
 		Addr:              cfg.addr,
-		Handler:           newServer(cfg),
+		Handler:           s,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -65,6 +73,7 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Print("shutting down, draining in-flight requests")
+	s.drain() // queued waiters and new arrivals get 503 + Retry-After
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

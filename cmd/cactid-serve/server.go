@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"cactid/internal/chaos"
 	"cactid/internal/core"
 	"cactid/internal/explore"
 )
@@ -19,15 +21,21 @@ import (
 // config collects the serving knobs.
 type config struct {
 	addr        string
-	timeout     time.Duration // per-request budget
+	timeout     time.Duration // per-request budget (ceiling; X-Cactid-Timeout may shorten it)
 	maxInFlight int           // bound on concurrently served /v1 requests
+	queueDepth  int           // waiters admitted beyond maxInFlight (-1 = no queue, 0 = 2*maxInFlight)
+	queueWait   time.Duration // longest a queued request waits for a slot before 429
 	maxPoints   int           // largest accepted sweep grid
+	cacheBound  int           // result-cache entry bound (-1 = unbounded, 0 = default)
 	workers     int           // solver pool size (0 = GOMAXPROCS)
 	pprof       bool          // expose net/http/pprof under /debug/pprof/
 
 	// solver overrides core.OptimizeContext; tests inject slow or
 	// counting solvers through it.
 	solver func(context.Context, core.Spec) (*core.Solution, error)
+	// chaos arms the serve.admit/serve.handler injection points and
+	// is shared with the engine and cache; nil disables injection.
+	chaos *chaos.Injector
 }
 
 // latencyBuckets are the upper bounds (seconds) of the solve-latency
@@ -44,11 +52,29 @@ var latencyBuckets = [nLatencyBuckets]float64{
 type metrics struct {
 	requests  [nEndpoints]atomic.Int64
 	errors    atomic.Int64 // 4xx/5xx responses
-	rejected  atomic.Int64 // 503s from the concurrency bound
 	inFlight  atomic.Int64
 	histogram [nLatencyBuckets + 1]atomic.Int64
 	latSumNS  atomic.Int64
 	latCount  atomic.Int64
+
+	// Admission control: the bounded queue behind the in-flight
+	// semaphore and each way a request can be shed.
+	queued        atomic.Int64 // requests currently waiting for a slot
+	queueMax      atomic.Int64 // high-water mark of queued (never exceeds queueDepth)
+	rejectedQueue atomic.Int64 // 429: queue already full
+	rejectedWait  atomic.Int64 // 429: slot wait exceeded queueWait
+	rejectedDrain atomic.Int64 // 503: server draining for shutdown
+	panics        atomic.Int64 // handler panics recovered into error responses
+}
+
+// high-water update for the queued gauge.
+func maxGauge(g *atomic.Int64, v int64) {
+	for {
+		cur := g.Load()
+		if v <= cur || g.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 type endpoint int
@@ -79,14 +105,26 @@ func (m *metrics) observe(d time.Duration) {
 	m.latCount.Add(1)
 }
 
+// defaultCacheBound is the result-cache entry bound when the flag is
+// left at its zero value. One cached solve is a few KB; 16Ki entries
+// keep a hot sweep working set while bounding a long-lived server.
+const defaultCacheBound = 16384
+
 // server is the cactid-serve HTTP API: the exploration engine behind
-// per-request timeouts and a bounded-concurrency gate.
+// per-request deadlines and a two-stage admission gate (in-flight
+// semaphore + bounded wait queue), with a drain state for shutdown.
 type server struct {
 	eng     *explore.Engine
 	cfg     config
 	sem     chan struct{}
 	mux     *http.ServeMux
 	metrics metrics
+
+	// Shutdown drain: drain() flips draining and closes drainCh so
+	// queued waiters abandon their slot wait immediately.
+	draining  atomic.Bool
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 func newServer(cfg config) *server {
@@ -96,14 +134,34 @@ func newServer(cfg config) *server {
 	if cfg.maxInFlight <= 0 {
 		cfg.maxInFlight = 32
 	}
+	switch {
+	case cfg.queueDepth < 0:
+		cfg.queueDepth = 0 // no queue: shed as soon as the semaphore is full
+	case cfg.queueDepth == 0:
+		cfg.queueDepth = 2 * cfg.maxInFlight
+	}
+	if cfg.queueWait <= 0 {
+		cfg.queueWait = 5 * time.Second
+	}
+	if cfg.queueWait > cfg.timeout {
+		cfg.queueWait = cfg.timeout
+	}
 	if cfg.maxPoints <= 0 {
 		cfg.maxPoints = 4096
 	}
+	switch {
+	case cfg.cacheBound < 0:
+		cfg.cacheBound = 0 // explore.CacheConfig: 0 = unbounded
+	case cfg.cacheBound == 0:
+		cfg.cacheBound = defaultCacheBound
+	}
 	s := &server{
-		eng: explore.New(explore.Options{Workers: cfg.workers, Solver: cfg.solver}),
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.maxInFlight),
-		mux: http.NewServeMux(),
+		eng: explore.New(explore.Options{Workers: cfg.workers, Solver: cfg.solver,
+			CacheEntries: cfg.cacheBound, Chaos: cfg.chaos}),
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.maxInFlight),
+		mux:     http.NewServeMux(),
+		drainCh: make(chan struct{}),
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.gated(epSolve, s.handleSolve))
 	s.mux.HandleFunc("POST /v1/sweep", s.gated(epSweep, s.handleSweep))
@@ -144,28 +202,129 @@ func loopbackOnly(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// gated wraps a /v1 handler with the request counters, the
-// concurrency bound, the per-request timeout and latency recording.
+// drain moves the server into its shutdown state: every /v1 request
+// — queued or newly arriving — is answered 503 with a Retry-After, so
+// load balancers move on while in-flight work finishes. Idempotent.
+func (s *server) drain() {
+	s.drainOnce.Do(func() {
+		s.draining.Store(true)
+		close(s.drainCh)
+	})
+}
+
+// retryAfterSeconds is the backoff hint sent with every shed
+// response: long enough for the queue to turn over once.
+func (s *server) retryAfterSeconds() string {
+	sec := int(s.cfg.queueWait / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return fmt.Sprintf("%d", sec)
+}
+
+func (s *server) shed(w http.ResponseWriter, status int, msg string) {
+	s.metrics.errors.Add(1)
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	http.Error(w, fmt.Sprintf(`{"error":%q}`, msg), status)
+}
+
+// admit runs the admission state machine: take a slot immediately,
+// else join the bounded queue and wait. It reports whether the
+// request was admitted; if not, it has already written the response.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	// Semaphore full: join the queue if there is room.
+	q := s.metrics.queued.Add(1)
+	if q > int64(s.cfg.queueDepth) {
+		s.metrics.queued.Add(-1)
+		s.metrics.rejectedQueue.Add(1)
+		s.shed(w, http.StatusTooManyRequests, "request queue full")
+		return false
+	}
+	maxGauge(&s.metrics.queueMax, q)
+	wait := time.NewTimer(s.cfg.queueWait)
+	defer wait.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		s.metrics.queued.Add(-1)
+		return true
+	case <-wait.C:
+		s.metrics.queued.Add(-1)
+		s.metrics.rejectedWait.Add(1)
+		s.shed(w, http.StatusTooManyRequests, "no capacity within the queue wait budget")
+		return false
+	case <-s.drainCh:
+		s.metrics.queued.Add(-1)
+		s.metrics.rejectedDrain.Add(1)
+		s.shed(w, http.StatusServiceUnavailable, "server is draining")
+		return false
+	case <-r.Context().Done():
+		s.metrics.queued.Add(-1)
+		s.metrics.errors.Add(1)
+		s.writeError(w, r.Context().Err()) // 499: the client hung up while queued
+		return false
+	}
+}
+
+// deadline returns the request's time budget: the server ceiling,
+// shortened by a client-supplied X-Cactid-Timeout (a Go duration).
+// Clients can never extend past the configured timeout.
+func (s *server) deadline(r *http.Request) time.Duration {
+	budget := s.cfg.timeout
+	if hdr := r.Header.Get("X-Cactid-Timeout"); hdr != "" {
+		if d, err := time.ParseDuration(hdr); err == nil && d > 0 && d < budget {
+			budget = d
+		}
+	}
+	return budget
+}
+
+// gated wraps a /v1 handler with the request counters, the admission
+// gate (in-flight bound + bounded wait queue, 429/503 shedding), the
+// per-request deadline, panic confinement and latency recording.
 func (s *server) gated(ep endpoint, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.requests[ep].Add(1)
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			s.metrics.rejected.Add(1)
-			s.metrics.errors.Add(1)
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, `{"error":"server at capacity"}`, http.StatusServiceUnavailable)
+		defer func() {
+			if v := recover(); v != nil {
+				// A handler bug must not kill the connection serving
+				// goroutine silently: count it and answer (best
+				// effort — headers may already be out).
+				s.metrics.panics.Add(1)
+				s.metrics.errors.Add(1)
+				s.writeError(w, fmt.Errorf("handler panic: %v", v))
+			}
+		}()
+		if s.draining.Load() {
+			s.metrics.rejectedDrain.Add(1)
+			s.shed(w, http.StatusServiceUnavailable, "server is draining")
+			return
+		}
+		if err := s.cfg.chaos.Inject(r.Context(), chaos.ServeAdmit); err != nil {
+			// An injected admission fault sheds the request exactly
+			// like a full queue.
+			s.metrics.rejectedQueue.Add(1)
+			s.shed(w, http.StatusTooManyRequests, "admission rejected (chaos)")
+			return
+		}
+		if !s.admit(w, r) {
 			return
 		}
 		defer func() { <-s.sem }()
 		s.metrics.inFlight.Add(1)
 		defer s.metrics.inFlight.Add(-1)
 
-		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.timeout)
+		ctx, cancel := context.WithTimeout(r.Context(), s.deadline(r))
 		defer cancel()
 		start := time.Now()
-		err := h(w, r.WithContext(ctx))
+		err := s.cfg.chaos.Inject(ctx, chaos.ServeHandler)
+		if err == nil {
+			err = h(w, r.WithContext(ctx))
+		}
 		s.metrics.observe(time.Since(start))
 		if err != nil {
 			s.metrics.errors.Add(1)
@@ -301,6 +460,13 @@ func writeResults(w http.ResponseWriter, r *http.Request, results []explore.Resu
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.requests[epHealthz].Add(1)
+	if s.draining.Load() {
+		// Fail the readiness probe first so the balancer stops
+		// routing here before the listener closes.
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
 	w.Write([]byte("ok\n"))
 }
 
@@ -323,25 +489,40 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)
 
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(map[string]any{
+	body := map[string]any{
 		"requests":        reqs,
 		"responses_error": s.metrics.errors.Load(),
-		"rejected_busy":   s.metrics.rejected.Load(),
 		"in_flight":       s.metrics.inFlight.Load(),
+		"limits": map[string]any{
+			"max_inflight":            s.cfg.maxInFlight,
+			"queue_depth":             s.cfg.queueDepth,
+			"queue_wait_seconds":      s.cfg.queueWait.Seconds(),
+			"request_timeout_seconds": s.cfg.timeout.Seconds(),
+			"max_points":              s.cfg.maxPoints,
+			"cache_max_entries":       st.CacheMaxEntries,
+		},
+		"admission": map[string]any{
+			"queued":              s.metrics.queued.Load(),
+			"queue_max":           s.metrics.queueMax.Load(),
+			"rejected_queue_full": s.metrics.rejectedQueue.Load(),
+			"rejected_wait":       s.metrics.rejectedWait.Load(),
+			"rejected_draining":   s.metrics.rejectedDrain.Load(),
+			"draining":            s.draining.Load(),
+		},
 		"cache": map[string]any{
 			"solves":        st.Solves,
 			"cache_hits":    st.CacheHits,
 			"cache_entries": st.CacheEntries,
 			"hit_ratio":     st.HitRatio(),
+			"evictions":     st.CacheEvictions,
+			"forced_misses": st.CacheForcedMisses,
 		},
 		"solver": map[string]any{
 			"orgs_considered": st.OrgsConsidered,
 			"orgs_pruned":     st.OrgsPruned,
 			"orgs_built":      st.OrgsBuilt,
 			"prune_ratio":     st.PruneRatio(),
+			"panics":          st.Panics + s.metrics.panics.Load(),
 		},
 		"runtime": map[string]any{
 			"goroutines":      runtime.NumGoroutine(),
@@ -358,5 +539,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"sum":     float64(s.metrics.latSumNS.Load()) / 1e9,
 			"buckets": buckets,
 		},
-	})
+	}
+	if s.cfg.chaos.Enabled() {
+		// Per-point fault counters, only when injection is armed: the
+		// disabled server's metrics body is unchanged from before.
+		ch := map[string]any{}
+		for p, ps := range s.cfg.chaos.Snapshot() {
+			ch[string(p)] = map[string]int64{
+				"armed": ps.Armed, "cancels": ps.Cancels, "latencies": ps.Latencies,
+				"panics": ps.Panics, "misses": ps.Misses,
+			}
+		}
+		body["chaos"] = ch
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
 }

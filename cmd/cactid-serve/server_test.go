@@ -306,7 +306,9 @@ func TestConcurrencyBoundRejectsExcess(t *testing.T) {
 		time.Sleep(150 * time.Millisecond)
 		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
 	}
-	ts := newTestServer(t, config{maxInFlight: 1, solver: slow})
+	// queueDepth -1: no wait queue, excess requests shed immediately
+	// with 429 — the pre-queue behavior, minus the old 503 status.
+	ts := newTestServer(t, config{maxInFlight: 1, queueDepth: -1, solver: slow})
 
 	const n = 4
 	codes := make([]int, n)
@@ -324,6 +326,9 @@ func TestConcurrencyBoundRejectsExcess(t *testing.T) {
 			}
 			resp.Body.Close()
 			codes[i] = resp.StatusCode
+			if resp.StatusCode == http.StatusTooManyRequests && resp.Header.Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
 		}(i)
 	}
 	wg.Wait()
@@ -332,20 +337,31 @@ func TestConcurrencyBoundRejectsExcess(t *testing.T) {
 		switch c {
 		case http.StatusOK:
 			ok++
-		case http.StatusServiceUnavailable:
+		case http.StatusTooManyRequests:
 			busy++
 		}
 	}
 	if ok == 0 || busy == 0 || ok+busy != n {
-		t.Fatalf("codes %v: want a mix of 200s and 503s", codes)
+		t.Fatalf("codes %v: want a mix of 200s and 429s", codes)
 	}
 
 	_, body := get(t, ts.URL+"/metrics")
 	var m struct {
-		Rejected int64 `json:"rejected_busy"`
+		Admission struct {
+			Queued        int64 `json:"queued"`
+			QueueMax      int64 `json:"queue_max"`
+			RejectedQueue int64 `json:"rejected_queue_full"`
+			RejectedWait  int64 `json:"rejected_wait"`
+		} `json:"admission"`
 	}
-	if err := json.Unmarshal(body, &m); err != nil || m.Rejected != int64(busy) {
-		t.Fatalf("rejected_busy = %d, want %d", m.Rejected, busy)
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatalf("metrics: %v\n%s", err, body)
+	}
+	if got := m.Admission.RejectedQueue + m.Admission.RejectedWait; got != int64(busy) {
+		t.Fatalf("admission rejects = %d, want %d (%+v)", got, busy, m.Admission)
+	}
+	if m.Admission.Queued != 0 || m.Admission.QueueMax != 0 {
+		t.Fatalf("no-queue config recorded queue activity: %+v", m.Admission)
 	}
 }
 

@@ -18,11 +18,45 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cactid/internal/explore"
 )
+
+// postWithRetry POSTs the body, retrying 429/503 shed responses with
+// exponential backoff and jitter. A Retry-After header (seconds)
+// overrides the computed backoff — the server knows its queue better
+// than the client does. Anything else is returned to the caller.
+func postWithRetry(client *http.Client, url string, body []byte, attempts int) (*http.Response, error) {
+	backoff := 250 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusTooManyRequests &&
+			resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		delay := backoff
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			delay = time.Duration(sec) * time.Second
+		}
+		resp.Body.Close()
+		if attempt >= attempts {
+			return nil, fmt.Errorf("server still shedding load (%s) after %d attempts", resp.Status, attempts)
+		}
+		// Full jitter: sleep U(0, delay] so retries from concurrent
+		// clients spread out instead of re-colliding in lockstep.
+		jittered := time.Duration(rand.Int63n(int64(delay))) + time.Millisecond
+		log.Printf("server busy (%s), retry %d/%d in %v", resp.Status, attempt, attempts, jittered.Round(time.Millisecond))
+		time.Sleep(jittered)
+		backoff *= 2
+	}
+}
 
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "cactid-serve base URL")
@@ -48,7 +82,7 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: 5 * time.Minute}
-	resp, err := client.Post(*addr+"/v1/pareto", "application/json", bytes.NewReader(body))
+	resp, err := postWithRetry(client, *addr+"/v1/pareto", body, 5)
 	if err != nil {
 		log.Fatalf("POST /v1/pareto: %v (is cactid-serve running? go run ./cmd/cactid-serve)", err)
 	}

@@ -1,0 +1,245 @@
+package explore
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"cactid/internal/chaos"
+	"cactid/internal/core"
+	"cactid/internal/tech"
+)
+
+func TestChaosPanicConvertedToSolveError(t *testing.T) {
+	inj := chaos.New(5, chaos.Rule{Point: chaos.ExploreSolve, Fault: chaos.Panic, Rate: 1})
+	n, solver := countingSolver(0)
+	e := New(Options{Solver: solver, Chaos: inj})
+	spec := core.Spec{RAM: tech.SRAM, CapacityBytes: 1 << 20, BlockBytes: 64}
+
+	_, _, err := e.Solve(context.Background(), spec)
+	if !errors.Is(err, ErrSolverPanic) {
+		t.Fatalf("err = %v, want ErrSolverPanic", err)
+	}
+	if n.Load() != 0 {
+		t.Error("solver ran despite the pre-solve panic")
+	}
+	if got := e.Stats().Panics; got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+	// The panic error is cached like any other failure: the entry is
+	// complete, so waiters are not stranded and a re-solve stays warm.
+	_, cached, err := e.Solve(context.Background(), spec)
+	if !errors.Is(err, ErrSolverPanic) || !cached {
+		t.Fatalf("re-solve after panic: cached=%v err=%v", cached, err)
+	}
+}
+
+func TestPanickingSolverDoesNotStrandWaiters(t *testing.T) {
+	// A solver that panics organically (no chaos): concurrent callers
+	// parked on the in-flight entry must all get ErrSolverPanic, not
+	// deadlock.
+	solver := func(context.Context, core.Spec) (*core.Solution, error) {
+		time.Sleep(10 * time.Millisecond)
+		panic("model bug")
+	}
+	e := New(Options{Solver: solver})
+	spec := core.Spec{RAM: tech.SRAM, CapacityBytes: 1 << 20, BlockBytes: 64}
+	errc := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, _, err := e.Solve(context.Background(), spec)
+			errc <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-errc:
+			if !errors.Is(err, ErrSolverPanic) {
+				t.Fatalf("waiter %d got %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("waiter stranded after solver panic")
+		}
+	}
+	if got := e.Stats().Panics; got != 1 {
+		t.Fatalf("panics = %d, want 1 (one owner, 7 waiters)", got)
+	}
+}
+
+func TestChaosWorkerPanicConfinedToPoint(t *testing.T) {
+	inj := chaos.New(2, chaos.Rule{Point: chaos.ExploreWorker, Fault: chaos.Panic, Rate: 0.5})
+	_, solver := countingSolver(0)
+	e := New(Options{Workers: 4, Solver: solver, Chaos: inj})
+	specs, _ := testGrid().Expand()
+
+	res := e.Sweep(context.Background(), specs)
+	panicked, solved := 0, 0
+	for i, r := range res {
+		switch {
+		case r.Err == nil && r.Solution != nil:
+			solved++
+		case errors.Is(r.Err, ErrSolverPanic):
+			panicked++
+		default:
+			t.Fatalf("point %d: unexpected state err=%v", i, r.Err)
+		}
+	}
+	if panicked == 0 || solved == 0 {
+		t.Fatalf("want a mix of panicked and solved points, got %d/%d", panicked, solved)
+	}
+	if got := e.Stats().Panics; got != int64(panicked) {
+		t.Fatalf("panics counter %d, want %d", got, panicked)
+	}
+	snap := inj.Snapshot()[chaos.ExploreWorker]
+	if snap.Armed != int64(len(specs)) || snap.Panics != int64(panicked) {
+		t.Fatalf("injector snapshot %+v vs %d points %d panics", snap, len(specs), panicked)
+	}
+}
+
+func TestChaosWorkerCancelMarksPoints(t *testing.T) {
+	inj := chaos.New(3, chaos.Rule{Point: chaos.ExploreWorker, Fault: chaos.Cancel, Rate: 1})
+	n, solver := countingSolver(0)
+	e := New(Options{Workers: 2, Solver: solver, Chaos: inj})
+	specs, _ := testGrid().Expand()
+	res := e.Sweep(context.Background(), specs)
+	for i, r := range res {
+		if !errors.Is(r.Err, context.Canceled) || !errors.Is(r.Err, chaos.ErrInjected) {
+			t.Fatalf("point %d err = %v, want injected cancellation", i, r.Err)
+		}
+	}
+	if n.Load() != 0 {
+		t.Error("solver ran despite worker-level cancellation")
+	}
+}
+
+func TestChaosSolveCancelDoesNotPoisonCache(t *testing.T) {
+	// Injected cancellation at the solve point is indistinguishable
+	// from a requester hanging up: the entry must be forgotten so a
+	// later caller recomputes successfully.
+	inj := chaos.New(4, chaos.Rule{Point: chaos.ExploreSolve, Fault: chaos.Cancel, Rate: 1})
+	n, solver := countingSolver(0)
+	e := New(Options{Solver: solver, Chaos: inj})
+	spec := core.Spec{RAM: tech.SRAM, CapacityBytes: 1 << 20, BlockBytes: 64}
+	if _, _, err := e.Solve(context.Background(), spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want injected cancel", err)
+	}
+	if got := e.Stats().CacheEntries; got != 0 {
+		t.Fatalf("cancelled solve left %d cache entries", got)
+	}
+	// A fresh engine sharing no chaos succeeds; here the same engine
+	// with injection still firing keeps failing but never deadlocks.
+	if _, _, err := e.Solve(context.Background(), spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("second solve err = %v", err)
+	}
+	if n.Load() != 0 {
+		t.Error("solver ran under a rate-1 cancel rule")
+	}
+}
+
+func TestChaosLatencySlowsSweep(t *testing.T) {
+	const delay = 20 * time.Millisecond
+	inj := chaos.New(6, chaos.Rule{Point: chaos.ExploreSolve, Fault: chaos.Latency, Rate: 1, Latency: delay})
+	_, solver := countingSolver(0)
+	e := New(Options{Workers: 1, Solver: solver, Chaos: inj})
+	spec := core.Spec{RAM: tech.SRAM, CapacityBytes: 1 << 20, BlockBytes: 64}
+	start := time.Now()
+	if _, _, err := e.Solve(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < delay {
+		t.Fatalf("latency injection had no effect: solve took %v", d)
+	}
+	if inj.Snapshot()[chaos.ExploreSolve].Latencies != 1 {
+		t.Fatal("latency fault not counted")
+	}
+}
+
+// TestChaosDisabledSweepByteIdentical: an engine with a disarmed
+// injector produces byte-identical output to one with no injector at
+// all — the no-op guarantee behind every chaos hook.
+func TestChaosDisabledSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-solver sweep")
+	}
+	specs, _ := testGrid().Expand()
+	plain := New(Options{Workers: 4}).Sweep(context.Background(), specs)
+	armedButSilent := New(Options{Workers: 4, Chaos: chaos.New(99)}).Sweep(context.Background(), specs)
+
+	var a, b bytes.Buffer
+	if err := WriteCSV(&a, plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, armedButSilent); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("disarmed chaos injector changed sweep output")
+	}
+}
+
+// TestSolvePinnedOutput pins the engine's solver output for two
+// reference specs to 7 significant digits. Like the validate.Micron
+// pins, this is a determinism tripwire, not an accuracy check: the
+// chaos/eviction/admission layers must not move published numbers by
+// even one ulp when injection is disabled. A deliberate model change
+// must update these constants in the same commit.
+func TestSolvePinnedOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real solver")
+	}
+	e := New(Options{CacheEntries: 64}) // bounded cache must not alter results
+	pins := []struct {
+		name string
+		spec core.Spec
+		want map[string]float64
+	}{
+		{
+			name: "sram-64KB-4way",
+			spec: core.Spec{Node: tech.Node32, RAM: tech.SRAM, CapacityBytes: 64 << 10,
+				BlockBytes: 64, Associativity: 4, Banks: 1, IsCache: true, MaxPipelineStages: 6},
+			want: map[string]float64{
+				"AccessTime":     6.359686e-10,
+				"EReadPerAccess": 1.063630e-10,
+				"LeakagePower":   2.109295e-02,
+				"Area":           1.522922e-07,
+				"RandomCycle":    1.868909e-10,
+			},
+		},
+		{
+			name: "lpdram-16MB-8way",
+			spec: core.Spec{Node: tech.Node32, RAM: tech.LPDRAM, CapacityBytes: 16 << 20,
+				BlockBytes: 64, Associativity: 8, Banks: 8, IsCache: true,
+				Mode: core.Sequential, PageBits: 8192, MaxPipelineStages: 6},
+			want: map[string]float64{
+				"AccessTime":     2.155344e-09,
+				"EReadPerAccess": 3.521534e-10,
+				"LeakagePower":   5.001937e-01,
+				"Area":           8.518432e-06,
+			},
+		},
+	}
+	const relTol = 1e-5 // the pins carry 7 significant digits
+	for _, p := range pins {
+		t.Run(p.name, func(t *testing.T) {
+			sol, _, err := e.Solve(context.Background(), p.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := map[string]float64{
+				"AccessTime":     sol.AccessTime,
+				"EReadPerAccess": sol.EReadPerAccess,
+				"LeakagePower":   sol.LeakagePower,
+				"Area":           sol.Area,
+				"RandomCycle":    sol.RandomCycle,
+			}
+			for name, want := range p.want {
+				if math.Abs(got[name]-want) > relTol*math.Abs(want) {
+					t.Errorf("%s = %.6e, pinned %.6e", name, got[name], want)
+				}
+			}
+		})
+	}
+}

@@ -3,12 +3,20 @@ package explore
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"cactid/internal/chaos"
 	"cactid/internal/core"
 )
+
+// ErrSolverPanic marks a panic recovered from a solver invocation or
+// a sweep worker: the fault is confined to the offending point
+// instead of killing the process, and the panic value is carried in
+// the wrapped error text.
+var ErrSolverPanic = errors.New("solver panicked")
 
 // Options configures an Engine. The zero value is usable: GOMAXPROCS
 // workers, a fresh cache, core.OptimizeContext as the solver.
@@ -24,10 +32,18 @@ type Options struct {
 	// Cache lets several engines share one result cache; nil makes a
 	// private one.
 	Cache *Cache
+	// CacheEntries bounds the private cache built when Cache is nil
+	// (see CacheConfig.MaxEntries); 0 means unbounded. Ignored when
+	// Cache is supplied.
+	CacheEntries int
 	// Solver replaces the default core.OptimizeContext solver (tests
 	// inject counting or slow solvers). The context is the
 	// requester's: solvers should abandon work when it is cancelled.
 	Solver func(context.Context, core.Spec) (*core.Solution, error)
+	// Chaos arms the engine's fault-injection points
+	// (explore.worker, explore.solve, and — for a private cache —
+	// explore.cache.lookup). Nil disables injection entirely.
+	Chaos *chaos.Injector
 }
 
 // Engine runs solver jobs through a bounded worker pool with a
@@ -37,9 +53,11 @@ type Engine struct {
 	cache   *Cache
 	workers int
 	solver  func(context.Context, core.Spec) (*core.Solution, error)
+	chaos   *chaos.Injector // nil = fault injection disabled
 
 	solves atomic.Int64 // solver invocations (cache misses)
 	hits   atomic.Int64 // results served from cache or an in-flight solve
+	panics atomic.Int64 // panics recovered from solver calls and sweep workers
 
 	// Enumeration coverage, accumulated from core.SolveStats by the
 	// default solver (zero when a custom Solver is injected).
@@ -50,9 +68,9 @@ type Engine struct {
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
-	e := &Engine{cache: opts.Cache, workers: opts.Workers, solver: opts.Solver}
+	e := &Engine{cache: opts.Cache, workers: opts.Workers, solver: opts.Solver, chaos: opts.Chaos}
 	if e.cache == nil {
-		e.cache = NewCache()
+		e.cache = NewCacheWith(CacheConfig{MaxEntries: opts.CacheEntries, Chaos: opts.Chaos})
 	}
 	if e.workers <= 0 {
 		e.workers = runtime.GOMAXPROCS(0)
@@ -116,7 +134,7 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, fp string) (*core.So
 		return nil, false, err
 	}
 	e.solves.Add(1)
-	ent.sol, ent.err = e.solver(ctx, spec)
+	ent.sol, ent.err = e.runSolver(ctx, spec)
 	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
 		// The solver was cut short by this requester's context: the
 		// failure says nothing about the spec, so don't poison the
@@ -125,6 +143,49 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, fp string) (*core.So
 	}
 	close(ent.ready)
 	return ent.sol, false, ent.err
+}
+
+// runSolver invokes the solver with the explore.solve injection point
+// armed and with panic confinement: a panicking solver (a model bug,
+// or an injected fault) is converted into an ErrSolverPanic error for
+// this one solve instead of unwinding the worker goroutine — which
+// would strand every caller parked on the cache entry.
+func (e *Engine) runSolver(ctx context.Context, spec core.Spec) (sol *core.Solution, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			e.panics.Add(1)
+			sol, err = nil, fmt.Errorf("%w: %v", ErrSolverPanic, v)
+		}
+	}()
+	if err := e.chaos.Inject(ctx, chaos.ExploreSolve); err != nil {
+		return nil, err
+	}
+	return e.solver(ctx, spec)
+}
+
+// sweepOne evaluates one sweep point, confining panics that escape
+// the per-solve recovery (the explore.worker injection point, or
+// fingerprinting) to this point's Result.
+func (e *Engine) sweepOne(ctx context.Context, spec core.Spec, i int) (r Result) {
+	r = Result{Index: i, Spec: spec}
+	defer func() {
+		if v := recover(); v != nil {
+			e.panics.Add(1)
+			r.Solution, r.Cached = nil, false
+			r.Err = fmt.Errorf("%w: %v", ErrSolverPanic, v)
+		}
+	}()
+	if err := e.chaos.Inject(ctx, chaos.ExploreWorker); err != nil {
+		r.Err = err
+		return r
+	}
+	if fp, err := spec.Fingerprint(); err != nil {
+		r.Err = err
+	} else {
+		r.Fingerprint = fp
+		r.Solution, r.Cached, r.Err = e.solve(ctx, spec, fp)
+	}
+	return r
 }
 
 // Sweep evaluates every spec on the worker pool and returns one
@@ -149,15 +210,7 @@ func (e *Engine) Sweep(ctx context.Context, specs []core.Spec) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				spec := specs[i]
-				r := Result{Index: i, Spec: spec}
-				if fp, err := spec.Fingerprint(); err != nil {
-					r.Err = err
-				} else {
-					r.Fingerprint = fp
-					r.Solution, r.Cached, r.Err = e.solve(ctx, spec, fp)
-				}
-				results[i] = r
+				results[i] = e.sweepOne(ctx, specs[i], i)
 			}
 		}()
 	}
@@ -197,6 +250,13 @@ type Stats struct {
 	CacheHits    int64 `json:"cache_hits"`
 	CacheEntries int   `json:"cache_entries"`
 
+	// Robustness counters: the cache's entry bound and churn, and
+	// panics recovered from solver calls or sweep workers.
+	CacheMaxEntries   int   `json:"cache_max_entries"` // 0 = unbounded
+	CacheEvictions    int64 `json:"cache_evictions"`
+	CacheForcedMisses int64 `json:"cache_forced_misses"`
+	Panics            int64 `json:"panics"`
+
 	// Organization-enumeration coverage across all solves (data +
 	// tag arrays): triples considered, rejected by the cheap
 	// feasibility precheck, and fully circuit-modeled.
@@ -225,12 +285,17 @@ func (s Stats) PruneRatio() float64 {
 
 // Stats returns the current counters.
 func (e *Engine) Stats() Stats {
+	cs := e.cache.Stats()
 	return Stats{
-		Solves:         e.solves.Load(),
-		CacheHits:      e.hits.Load(),
-		CacheEntries:   e.cache.Len(),
-		OrgsConsidered: e.orgsConsidered.Load(),
-		OrgsPruned:     e.orgsPruned.Load(),
-		OrgsBuilt:      e.orgsBuilt.Load(),
+		Solves:            e.solves.Load(),
+		CacheHits:         e.hits.Load(),
+		CacheEntries:      cs.Entries,
+		CacheMaxEntries:   cs.MaxEntries,
+		CacheEvictions:    cs.Evictions,
+		CacheForcedMisses: cs.ForcedMisses,
+		Panics:            e.panics.Load(),
+		OrgsConsidered:    e.orgsConsidered.Load(),
+		OrgsPruned:        e.orgsPruned.Load(),
+		OrgsBuilt:         e.orgsBuilt.Load(),
 	}
 }

@@ -1,0 +1,93 @@
+package explore
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec exercises the /v1/solve request decoder end to end:
+// strict JSON decode into SpecRequest, compilation to a core.Spec,
+// and fingerprinting. Any input must either be rejected with an error
+// or produce a spec whose derived values are well-formed — and the
+// pipeline must never panic.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{"ram":"sram","capacity":"64KB","associativity":4,"block_bytes":64,"node_nm":32}`))
+	f.Add([]byte(`{"ram":"lp-dram","capacity":"48MB","mode":"seq","page_bits":8192}`))
+	f.Add([]byte(`{"ram":"comm-dram","capacity":"1Gbit","cache":false}`))
+	f.Add([]byte(`{"capacity":"-1MB"}`))
+	f.Add([]byte(`{"capacity":"1e308MB"}`))
+	f.Add([]byte(`{"capacity":"NaNKB"}`))
+	f.Add([]byte(`{"weights":{"dynamic_energy":1}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"ram":`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SpecRequest
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		spec, err := req.Spec()
+		if err != nil {
+			return
+		}
+		if spec.BlockBytes <= 0 {
+			t.Fatalf("accepted spec has block bytes %d", spec.BlockBytes)
+		}
+		if req.Capacity != "" && spec.CapacityBytes <= 0 {
+			t.Fatalf("parsed capacity %q to %d bytes", req.Capacity, spec.CapacityBytes)
+		}
+		// Fingerprinting must not panic; when it succeeds it must be
+		// non-empty and stable.
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			return
+		}
+		if fp == "" {
+			t.Fatal("empty fingerprint for accepted spec")
+		}
+		if fp2, err2 := spec.Fingerprint(); err2 != nil || fp2 != fp {
+			t.Fatalf("fingerprint unstable: %q vs %q (%v)", fp, fp2, err2)
+		}
+	})
+}
+
+// FuzzParseGrid exercises the sweep request decoder: strict decode
+// into SweepRequest, grid compilation, point counting and (for small
+// grids) expansion. Points must never go negative, and Expand must
+// account for every point as either produced or skipped.
+func FuzzParseGrid(f *testing.F) {
+	f.Add([]byte(`{"base":{"ram":"sram","node_nm":32},"capacities":["32KB","64KB"],"associativities":[1,4]}`))
+	f.Add([]byte(`{"base":{"ram":"lp-dram","mode":"seq"},"banks":[1,3,8],"block_bytes":[32,64]}`))
+	f.Add([]byte(`{"base":{},"rams":["sram","lp-dram","comm-dram"],"modes":["normal","fast"]}`))
+	f.Add([]byte(`{"base":{"capacity":"0B"}}`))
+	f.Add([]byte(`{"nodes":[90,65,45,32]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req SweepRequest
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		g, err := req.Grid()
+		if err != nil {
+			return
+		}
+		n := g.Points()
+		if n <= 0 {
+			t.Fatalf("Points() = %d for an accepted grid", n)
+		}
+		if n > 1<<12 {
+			return // expansion of huge grids is the server's maxPoints job
+		}
+		specs, skipped := g.Expand()
+		if len(specs)+skipped != n {
+			t.Fatalf("Expand accounted %d+%d points of %d", len(specs), skipped, n)
+		}
+		specs2, skipped2 := g.Expand()
+		if len(specs2) != len(specs) || skipped2 != skipped {
+			t.Fatal("Expand not deterministic")
+		}
+	})
+}

@@ -104,12 +104,19 @@ func orBase[T any](axis []T, base T) []T {
 	return axis
 }
 
-// Points returns the number of grid points before validity filtering.
+// Points returns the number of grid points before validity filtering,
+// saturating at math.MaxInt. Saturation matters: a hostile request
+// with seven long axes could overflow the product to a small (or
+// negative) count, slipping past the server's max-points bound and
+// into an Expand whose capacity allocation would then panic.
 func (g Grid) Points() int {
 	n := 1
 	for _, l := range []int{len(g.Nodes), len(g.RAMs), len(g.Capacities),
 		len(g.Blocks), len(g.Assocs), len(g.Banks), len(g.Modes)} {
 		if l > 0 {
+			if n > math.MaxInt/l {
+				return math.MaxInt
+			}
 			n *= l
 		}
 	}

@@ -1,0 +1,176 @@
+package explore
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"cactid/internal/core"
+)
+
+// candidateSet is a quick-generated sweep outcome: up to maxCand
+// pseudo-solutions over the four objectives, with occasional errored
+// and duplicate-fingerprint points mixed in, as a real sweep produces.
+type candidateSet struct {
+	Results []Result
+}
+
+const maxCand = 48
+
+// Generate implements quick.Generator. Objective values are drawn
+// from a small discrete range so that dominance, ties, and duplicates
+// all actually occur in generated sets.
+func (candidateSet) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 1 + r.Intn(maxCand)
+	set := candidateSet{Results: make([]Result, n)}
+	obj := func() float64 { return float64(1+r.Intn(6)) / 2 }
+	for i := range set.Results {
+		if r.Intn(8) == 0 { // an errored point, as invalid specs yield
+			set.Results[i] = Result{Index: i, Err: core.ErrNoSolution}
+			continue
+		}
+		fp := fmt.Sprintf("fp%02d", r.Intn(n)) // collisions are duplicates
+		set.Results[i] = Result{
+			Index:       i,
+			Fingerprint: fp,
+			Solution: &core.Solution{
+				AccessTime:     obj(),
+				EReadPerAccess: obj(),
+				LeakagePower:   obj(),
+				Area:           obj(),
+			},
+		}
+	}
+	return reflect.ValueOf(set)
+}
+
+// firstByFingerprint reproduces Frontier's dedup rule: only the first
+// occurrence of each fingerprint competes.
+func firstByFingerprint(results []Result) []Result {
+	seen := map[string]bool{}
+	var out []Result
+	for _, r := range results {
+		if r.Err != nil || r.Solution == nil || seen[r.Fingerprint] {
+			continue
+		}
+		seen[r.Fingerprint] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestFrontierNoInternalDominance: property — no frontier point
+// dominates another frontier point.
+func TestFrontierNoInternalDominance(t *testing.T) {
+	prop := func(set candidateSet) bool {
+		f := Frontier(set.Results)
+		for i, a := range f {
+			for j, b := range f {
+				if i != j && dominates(a.Solution, b.Solution) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontierExcludesExactlyTheDominated: property — a deduped
+// successful candidate is off the frontier iff some other candidate
+// dominates it.
+func TestFrontierExcludesExactlyTheDominated(t *testing.T) {
+	prop := func(set candidateSet) bool {
+		f := Frontier(set.Results)
+		onFrontier := map[int]bool{}
+		for _, r := range f {
+			onFrontier[r.Index] = true
+		}
+		cands := firstByFingerprint(set.Results)
+		for _, r := range cands {
+			dominated := false
+			for _, other := range cands {
+				if other.Index != r.Index && dominates(other.Solution, r.Solution) {
+					dominated = true
+					break
+				}
+			}
+			if dominated == onFrontier[r.Index] {
+				return false // dominated on the frontier, or undominated left off
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrontierOrderIndependent: property — frontier membership (as a
+// fingerprint set) does not depend on the order candidates arrive in.
+// (The emitted order does track input order, by design.)
+func TestFrontierOrderIndependent(t *testing.T) {
+	prop := func(set candidateSet, seed int64) bool {
+		// Duplicate fingerprints break permutation invariance by
+		// construction (first occurrence wins), so compete every
+		// candidate under a unique key for this property.
+		unique := firstByFingerprint(set.Results)
+		base := frontierFingerprints(Frontier(unique))
+
+		perm := make([]Result, len(unique))
+		copy(perm, unique)
+		rng := rand.New(rand.NewSource(seed))
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got := frontierFingerprints(Frontier(perm))
+
+		if len(base) != len(got) {
+			return false
+		}
+		for fp := range base {
+			if !got[fp] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frontierFingerprints(f []Result) map[string]bool {
+	out := make(map[string]bool, len(f))
+	for _, r := range f {
+		out[r.Fingerprint] = true
+	}
+	return out
+}
+
+// TestFrontierErroredPointsNeverSurface: property — errored or
+// solution-less points never appear on a frontier.
+func TestFrontierErroredPointsNeverSurface(t *testing.T) {
+	prop := func(set candidateSet) bool {
+		for _, r := range Frontier(set.Results) {
+			if r.Err != nil || r.Solution == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quickCfg fixes the generator seed so failures reproduce, and runs
+// enough cases to exercise ties, duplicates and errors together.
+func quickCfg() *quick.Config {
+	return &quick.Config{
+		MaxCount: 400,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+}

@@ -1,0 +1,96 @@
+package study
+
+import (
+	"math"
+	"testing"
+)
+
+// The pins below freeze published study numbers to 7 significant
+// digits, the same idiom as the validate.Micron pins: they are
+// determinism tripwires, not accuracy checks. A deliberate model or
+// study change must update these constants in the same commit; an
+// accidental drift — a reordered float reduction, a perturbed
+// enumeration, a chaos hook that is not a true no-op when disabled —
+// fails here first.
+const pinRelTol = 1e-5 // 7 significant digits
+
+func pinCheck(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > pinRelTol*math.Abs(want) {
+		t.Errorf("%s = %.6e, pinned %.6e", name, got, want)
+	}
+}
+
+// TestTable3Pins freezes one representative column per technology
+// class of the paper's Table 3 (leakage W, per-bank area mm², dynamic
+// read nJ), plus the integer cycle counts for every row.
+func TestTable3Pins(t *testing.T) {
+	s := getStudy(t)
+	rows := s.Table3()
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+
+	pins := []struct {
+		name                 string
+		leakW, areaMM2, erNJ float64
+	}{
+		{"L1", 1.249168e-02, 8.617855e-02, 1.559602e-01},
+		{"L3 SRAM", 3.559166e+00, 5.012489e+00, 3.762047e-01},
+		{"L3 LP-DRAM ED", 1.141352e+00, 2.901778e+00, 4.446009e-01},
+		{"L3 COMM-DRAM C", 1.456947e-04, 2.393951e+00, 1.912067e+00},
+		{"Main memory chip", 9.270238e-02, 9.257619e+01, 1.226190e+01},
+	}
+	for _, p := range pins {
+		r, ok := byName[p.name]
+		if !ok {
+			t.Fatalf("Table 3 lost row %q", p.name)
+		}
+		pinCheck(t, p.name+" leakage", r.LeakageW, p.leakW)
+		pinCheck(t, p.name+" area", r.AreaMM2, p.areaMM2)
+		pinCheck(t, p.name+" read energy", r.DynReadNJ, p.erNJ)
+	}
+
+	cycles := map[string][2]int64{ // {access, random-cycle} CPU cycles
+		"L1":               {2, 1},
+		"L2":               {2, 1},
+		"L3 SRAM":          {3, 1},
+		"L3 LP-DRAM ED":    {6, 1},
+		"L3 LP-DRAM C":     {8, 4},
+		"L3 COMM-DRAM ED":  {9, 3},
+		"L3 COMM-DRAM C":   {24, 17},
+		"Main memory chip": {35, 101},
+	}
+	for name, want := range cycles {
+		r := byName[name]
+		if r.AccessCycles != want[0] || r.RandCycleCycles != want[1] {
+			t.Errorf("%s cycles = {%d, %d}, pinned {%d, %d}",
+				name, r.AccessCycles, r.RandCycleCycles, want[0], want[1])
+		}
+	}
+}
+
+// TestRunPins freezes the end-to-end simulation outputs (IPC, EDP,
+// memory-hierarchy power) for ft.B on two L3 configurations at the
+// study's reference seed. This covers the whole pipeline: solver →
+// study wiring → trace synthesis → system simulation → power roll-up.
+func TestRunPins(t *testing.T) {
+	s := getStudy(t)
+	pins := []struct {
+		config         string
+		ipc, edp, memW float64
+	}{
+		{"sram", 1.863782e+00, 1.042732e-05, 1.057303e+01},
+		{"lp_dram_ed", 2.565701e+00, 5.180449e-06, 8.654315e+00},
+	}
+	for _, p := range pins {
+		r, err := s.Run("ft.B", p.config, 42)
+		if err != nil {
+			t.Fatalf("Run(ft.B, %s): %v", p.config, err)
+		}
+		pinCheck(t, p.config+" IPC", r.Sim.IPC, p.ipc)
+		pinCheck(t, p.config+" EDP", r.EDP, p.edp)
+		pinCheck(t, p.config+" memory power", r.Power.MemoryHierarchy(), p.memW)
+	}
+}
