@@ -29,7 +29,7 @@ func FuzzSolveBody(f *testing.F) {
 	fake := func(_ context.Context, spec core.Spec) (*core.Solution, error) {
 		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
 	}
-	s := newServer(config{solver: fake})
+	s := mustServer(f, config{solver: fake})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		req := httptest.NewRequest("POST", "/v1/solve", strings.NewReader(string(data)))
 		req.Header.Set("Content-Type", "application/json")

@@ -12,11 +12,21 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve   one spec -> the optimized solution (same JSON as `cactid -json`)
-//	POST /v1/sweep   a parameter grid -> one result per point, deterministic order
-//	POST /v1/pareto  a parameter grid -> only the Pareto-optimal points
-//	GET  /healthz    liveness probe
-//	GET  /metrics    request counts, cache hit ratio, in-flight gauge, latency histogram
+//	POST /v1/solve                    one spec -> the optimized solution (same JSON as `cactid -json`)
+//	POST /v1/sweep                    a parameter grid -> one result per point, deterministic order
+//	POST /v1/pareto                   a parameter grid -> only the Pareto-optimal points
+//	POST /v1/solve-batch              a spec list -> one result per spec under a single admission
+//	POST /v1/sweep-jobs               submit a grid as a background job -> 202 + job id
+//	GET  /v1/sweep-jobs/{id}          poll a job (state, progress, results when done)
+//	GET  /v1/sweep-jobs/{id}/stream   stream per-point results as NDJSON (SSE via Accept)
+//	GET  /healthz                     liveness probe
+//	GET  /metrics                     request counts, cache/store hit ratios, latency histogram
+//
+// With -store DIR, solved results and sweep-job checkpoints persist
+// in a crash-safe disk store keyed by (model version, spec
+// fingerprint): a restarted server answers previously-solved specs
+// without re-running the solver, and interrupted sweep jobs resume
+// from their last checkpoint.
 //
 // Repeated and overlapping requests hit the fingerprint-keyed result
 // cache instead of re-running the solver; concurrent identical
@@ -51,9 +61,14 @@ func main() {
 	flag.IntVar(&cfg.cacheBound, "cache-entries", 0, "result-cache entry bound with LRU eviction (-1 = unbounded, 0 = default 16384)")
 	flag.IntVar(&cfg.workers, "workers", 0, "solver pool size (0 = GOMAXPROCS)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "expose net/http/pprof handlers under /debug/pprof/ (loopback clients only)")
+	flag.StringVar(&cfg.storeDir, "store", "", "durable result-store directory: solved specs persist across restarts and interrupted sweep jobs resume (empty = in-memory only)")
+	flag.IntVar(&cfg.checkpointEvery, "checkpoint-every", 0, "sweep-job checkpoint granularity in grid points (0 = default 32)")
 	flag.Parse()
 
-	s := newServer(cfg)
+	s, err := newServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
 	srv := &http.Server{
 		Addr:              cfg.addr,
 		Handler:           s,
@@ -79,4 +94,7 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	// Stop job workers at their next checkpoint and flush/close the
+	// store: interrupted jobs resume from that checkpoint on restart.
+	s.close()
 }

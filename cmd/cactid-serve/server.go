@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"cactid/internal/chaos"
 	"cactid/internal/core"
 	"cactid/internal/explore"
+	"cactid/internal/store"
 )
 
 // config collects the serving knobs.
@@ -29,6 +31,11 @@ type config struct {
 	cacheBound  int           // result-cache entry bound (-1 = unbounded, 0 = default)
 	workers     int           // solver pool size (0 = GOMAXPROCS)
 	pprof       bool          // expose net/http/pprof under /debug/pprof/
+	storeDir    string        // durable result-store directory ("" = in-memory only)
+
+	// checkpointEvery sets the sweep-job chunk size between durable
+	// checkpoints (0 = 32); tests shrink it to exercise resume.
+	checkpointEvery int
 
 	// solver overrides core.OptimizeContext; tests inject slow or
 	// counting solvers through it.
@@ -83,13 +90,18 @@ const (
 	epSolve endpoint = iota
 	epSweep
 	epPareto
+	epSolveBatch
+	epJobSubmit
+	epJobGet
+	epJobStream
 	epHealthz
 	epMetrics
 	nEndpoints
 )
 
 func (e endpoint) String() string {
-	return [nEndpoints]string{"solve", "sweep", "pareto", "healthz", "metrics"}[e]
+	return [nEndpoints]string{"solve", "sweep", "pareto", "solve_batch",
+		"job_submit", "job_get", "job_stream", "healthz", "metrics"}[e]
 }
 
 func (m *metrics) observe(d time.Duration) {
@@ -120,6 +132,12 @@ type server struct {
 	mux     *http.ServeMux
 	metrics metrics
 
+	// Durability: st is the disk-backed result store (nil without
+	// -store) serving as the engine's tier 1 and as the sweep-job
+	// checkpoint log; jobs owns the background sweep jobs.
+	st   *store.Store
+	jobs *jobManager
+
 	// Shutdown drain: drain() flips draining and closes drainCh so
 	// queued waiters abandon their slot wait immediately.
 	draining  atomic.Bool
@@ -127,7 +145,7 @@ type server struct {
 	drainOnce sync.Once
 }
 
-func newServer(cfg config) *server {
+func newServer(cfg config) (*server, error) {
 	if cfg.timeout <= 0 {
 		cfg.timeout = 60 * time.Second
 	}
@@ -155,17 +173,36 @@ func newServer(cfg config) *server {
 	case cfg.cacheBound == 0:
 		cfg.cacheBound = defaultCacheBound
 	}
+	var st *store.Store
+	var tier1 store.Tiered
+	if cfg.storeDir != "" {
+		var err error
+		st, err = store.Open(store.Config{Dir: cfg.storeDir, Chaos: cfg.chaos})
+		if err != nil {
+			return nil, fmt.Errorf("open result store: %w", err)
+		}
+		tier1 = store.NewSolutions(st)
+	}
 	s := &server{
 		eng: explore.New(explore.Options{Workers: cfg.workers, Solver: cfg.solver,
-			CacheEntries: cfg.cacheBound, Chaos: cfg.chaos}),
+			CacheEntries: cfg.cacheBound, Chaos: cfg.chaos, Tier1: tier1}),
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.maxInFlight),
 		mux:     http.NewServeMux(),
 		drainCh: make(chan struct{}),
+		st:      st,
 	}
+	s.jobs = newJobManager(s.eng, st, cfg.checkpointEvery, cfg.maxPoints)
 	s.mux.HandleFunc("POST /v1/solve", s.gated(epSolve, s.handleSolve))
 	s.mux.HandleFunc("POST /v1/sweep", s.gated(epSweep, s.handleSweep))
 	s.mux.HandleFunc("POST /v1/pareto", s.gated(epPareto, s.handlePareto))
+	s.mux.HandleFunc("POST /v1/solve-batch", s.gated(epSolveBatch, s.handleSolveBatch))
+	s.mux.HandleFunc("POST /v1/sweep-jobs", s.gated(epJobSubmit, s.handleJobSubmit))
+	// Polling and streaming are read-only views of background work:
+	// they hold no solver resources, so they bypass the admission
+	// gate — a streamer parked for minutes must not pin a /v1 slot.
+	s.mux.HandleFunc("GET /v1/sweep-jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/sweep-jobs/{id}/stream", s.handleJobStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.pprof {
@@ -179,10 +216,23 @@ func newServer(cfg config) *server {
 		s.mux.HandleFunc("/debug/pprof/symbol", loopbackOnly(pprof.Symbol))
 		s.mux.HandleFunc("/debug/pprof/trace", loopbackOnly(pprof.Trace))
 	}
-	return s
+	// Interrupted sweep jobs found in the store pick up where their
+	// last checkpoint left off.
+	s.jobs.resumeAll()
+	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// close releases the server's background resources: job workers stop
+// at their next chunk boundary (leaving resumable checkpoints) and
+// the durable store is flushed and closed. Call after drain().
+func (s *server) close() {
+	s.jobs.drain()
+	if s.st != nil {
+		s.st.Close()
+	}
+}
 
 // loopbackOnly rejects requests whose peer address is not a loopback
 // interface. RemoteAddr is the transport-level peer as filled in by
@@ -437,6 +487,167 @@ func (s *server) handlePareto(w http.ResponseWriter, r *http.Request) error {
 	return writeResults(w, r, explore.Frontier(results), skipped, swept)
 }
 
+// batchRequest is the /v1/solve-batch body: an explicit spec list,
+// for clients whose points don't form a grid. One admission pays for
+// the whole batch.
+type batchRequest struct {
+	Specs []explore.SpecRequest `json:"specs"`
+}
+
+func (s *server) handleSolveBatch(w http.ResponseWriter, r *http.Request) error {
+	req, err := decode[batchRequest](r)
+	if err != nil {
+		return err
+	}
+	if len(req.Specs) == 0 {
+		return badRequest(errors.New("specs is empty"))
+	}
+	if len(req.Specs) > s.cfg.maxPoints {
+		return badRequest(fmt.Errorf("batch has %d specs, limit %d", len(req.Specs), s.cfg.maxPoints))
+	}
+	specs := make([]core.Spec, len(req.Specs))
+	for i, sr := range req.Specs {
+		if specs[i], err = sr.Spec(); err != nil {
+			return badRequest(fmt.Errorf("specs[%d]: %w", i, err))
+		}
+	}
+	results := s.eng.Sweep(r.Context(), specs)
+	if err := r.Context().Err(); err != nil {
+		return err
+	}
+	return writeResults(w, r, results, 0, len(results))
+}
+
+// jobJSON renders a job's poll/submit view; results are attached only
+// on terminal success.
+func jobJSON(j *job, withResults bool) map[string]any {
+	rec, completed := j.snapshot()
+	m := map[string]any{
+		"id":        rec.ID,
+		"state":     rec.State,
+		"points":    rec.Points,
+		"skipped":   rec.Skipped,
+		"completed": completed,
+	}
+	if rec.ResumedFrom > 0 {
+		m["resumed_from"] = rec.ResumedFrom
+	}
+	if rec.Error != "" {
+		m["error"] = rec.Error
+	}
+	if withResults && rec.State == jobDone {
+		arr := make([]map[string]any, completed)
+		for i := 0; i < completed; i++ {
+			arr[i] = explore.ResultJSON(j.resultAt(i))
+		}
+		m["results"] = arr
+	}
+	return m
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(body)
+}
+
+// handleJobSubmit validates the grid and registers a background sweep
+// job; the sweep itself runs outside this request's deadline and
+// admission slot. 202 + the job id, for polling or streaming.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) error {
+	req, err := decode[explore.SweepRequest](r)
+	if err != nil {
+		return err
+	}
+	grid, err := req.Grid()
+	if err != nil {
+		return badRequest(err)
+	}
+	if n := grid.Points(); n > s.cfg.maxPoints {
+		return badRequest(fmt.Errorf("grid has %d points, limit %d", n, s.cfg.maxPoints))
+	}
+	specs, skipped := grid.Expand()
+	j := s.jobs.submit(req, len(specs), skipped)
+	return writeJSON(w, http.StatusAccepted, jobJSON(j, false))
+}
+
+func (s *server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epJobGet].Add(1)
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.metrics.errors.Add(1)
+		s.writeError(w, httpError{http.StatusNotFound, errors.New("no such sweep job")})
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(j, r.URL.Query().Get("results") != "false"))
+}
+
+// handleJobStream streams the job's results as they complete: NDJSON
+// by default (one ResultJSON per line), or Server-Sent Events when
+// the client asks via Accept: text/event-stream. The stream always
+// replays the completed prefix first, so reconnecting is lossless,
+// and ends with a terminal state line/event.
+func (s *server) handleJobStream(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests[epJobStream].Add(1)
+	j := s.jobs.get(r.PathValue("id"))
+	if j == nil {
+		s.metrics.errors.Add(1)
+		s.writeError(w, httpError{http.StatusNotFound, errors.New("no such sweep job")})
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) bool {
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if sse {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, buf)
+		} else {
+			fmt.Fprintf(w, "%s\n", buf)
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+
+	sent := 0
+	for {
+		n, terminal, updated := j.wait()
+		for ; sent < n; sent++ {
+			if !emit("result", explore.ResultJSON(j.resultAt(sent))) {
+				return
+			}
+		}
+		if terminal {
+			emit("done", jobJSON(j, false))
+			return
+		}
+		select {
+		case <-updated:
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh:
+			// Workers stop at the next chunk boundary on drain; end
+			// the stream so clients reconnect to the restarted server.
+			emit("done", jobJSON(j, false))
+			return
+		}
+	}
+}
+
 // writeResults renders a result set as CSV (?format=csv) or as a JSON
 // envelope whose entries carry the same fields as /v1/solve.
 func writeResults(w http.ResponseWriter, r *http.Request, results []explore.Result, skipped, swept int) error {
@@ -517,6 +728,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"evictions":     st.CacheEvictions,
 			"forced_misses": st.CacheForcedMisses,
 		},
+		"sweep_jobs": s.jobs.stats(),
 		"solver": map[string]any{
 			"orgs_considered": st.OrgsConsidered,
 			"orgs_pruned":     st.OrgsPruned,
@@ -539,6 +751,29 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"sum":     float64(s.metrics.latSumNS.Load()) / 1e9,
 			"buckets": buckets,
 		},
+	}
+	if s.st != nil {
+		// Tiered view: tier-0 numbers live in "cache" above; this
+		// block adds the engine's durable-tier counters plus the disk
+		// store's own size and recovery stats.
+		ss := s.st.Stats()
+		body["store"] = map[string]any{
+			"tier0_hits":        st.CacheHits,
+			"tier1_hits":        st.Tier1Hits,
+			"tier1_misses":      st.Tier1Misses,
+			"writes":            ss.Puts,
+			"keys":              ss.Keys,
+			"segments":          ss.Segments,
+			"bytes_on_disk":     ss.BytesOnDisk,
+			"recovered_records": ss.RecoveredRecords,
+			"skipped_records":   ss.SkippedRecords,
+			"truncated_bytes":   ss.TruncatedBytes,
+			"corrupt_reads":     ss.CorruptReads,
+			"index_flushes":     ss.IndexFlushes,
+			"get_faults":        ss.GetFaults,
+			"put_faults":        ss.PutFaults,
+			"recover_faults":    ss.RecoverFaults,
+		}
 	}
 	if s.cfg.chaos.Enabled() {
 		// Per-point fault counters, only when injection is armed: the

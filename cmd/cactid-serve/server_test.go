@@ -17,9 +17,21 @@ import (
 	"cactid/internal/explore"
 )
 
+// mustServer builds a server, failing the test on store errors, and
+// releases its background resources (job workers, store) on cleanup.
+func mustServer(t testing.TB, cfg config) *server {
+	t.Helper()
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.close)
+	return s
+}
+
 func newTestServer(t *testing.T, cfg config) *httptest.Server {
 	t.Helper()
-	ts := httptest.NewServer(newServer(cfg))
+	ts := httptest.NewServer(mustServer(t, cfg))
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -280,7 +292,7 @@ func TestPprofFlagGatesDebugHandlers(t *testing.T) {
 }
 
 func TestPprofRejectsNonLoopbackPeers(t *testing.T) {
-	s := newServer(config{pprof: true})
+	s := mustServer(t, config{pprof: true})
 	for _, remote := range []string{"203.0.113.9:4242", "[2001:db8::1]:4242", "10.0.0.7:80"} {
 		req := httptest.NewRequest("GET", "/debug/pprof/", nil)
 		req.RemoteAddr = remote

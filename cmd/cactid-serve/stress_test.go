@@ -61,7 +61,7 @@ func TestServeOverloadShedding(t *testing.T) {
 		queueWait:   50 * time.Millisecond,
 		solver:      slowSolver(100 * time.Millisecond),
 	}
-	s := newServer(cfg)
+	s := mustServer(t, cfg)
 	ts := httptest.NewServer(s)
 	client := ts.Client()
 
@@ -186,7 +186,7 @@ func TestDrainShedsQueuedAndNewRequests(t *testing.T) {
 		queueWait:   5 * time.Second,
 		solver:      slowSolver(200 * time.Millisecond),
 	}
-	s := newServer(cfg)
+	s := mustServer(t, cfg)
 	ts := httptest.NewServer(s)
 	defer ts.Close()
 
@@ -245,7 +245,7 @@ func TestDeadlineHeaderShortensTimeout(t *testing.T) {
 	}
 
 	// A header longer than the server ceiling must not extend it.
-	s := newServer(config{timeout: time.Millisecond, solver: slowSolver(250 * time.Millisecond)})
+	s := mustServer(t, config{timeout: time.Millisecond, solver: slowSolver(250 * time.Millisecond)})
 	rec := httptest.NewRecorder()
 	hreq := httptest.NewRequest("POST", "/v1/sweep",
 		strings.NewReader(`{"base":{"ram":"sram"},"capacities":["32KB"]}`))
@@ -257,9 +257,13 @@ func TestDeadlineHeaderShortensTimeout(t *testing.T) {
 }
 
 // TestChaosServerNoUnexpected5xx arms every injection point at a
-// fixed seed and hammers the API: all five points must fire, and the
-// server must never answer 5xx — injected faults surface as 429, 499
-// or per-point errors inside 200 envelopes, never as server errors.
+// fixed seed and hammers the API: every catalogued point must fire,
+// and the server must never answer 5xx — injected faults surface as
+// 429, 499 or per-point errors inside 200 envelopes, never as server
+// errors. The store.* points prove the durable tier's failure
+// semantics: recovery faults are absorbed at Open, read faults
+// degrade to misses, write faults drop durability — and no fault mix
+// ever yields a corrupt read.
 func TestChaosServerNoUnexpected5xx(t *testing.T) {
 	base := runtime.NumGoroutine()
 	inj := chaos.New(7,
@@ -268,12 +272,18 @@ func TestChaosServerNoUnexpected5xx(t *testing.T) {
 		chaos.Rule{Point: chaos.ExploreWorker, Fault: chaos.Panic, Rate: 0.3},
 		chaos.Rule{Point: chaos.ExploreSolve, Fault: chaos.Cancel, Rate: 0.3},
 		chaos.Rule{Point: chaos.CacheLookup, Fault: chaos.Miss, Rate: 1},
+		// Only Cancel at store.recover: Open absorbs injected faults
+		// by contract, and a Panic there would (correctly) escape —
+		// there is no request to confine it to.
+		chaos.Rule{Point: chaos.StoreRecover, Fault: chaos.Cancel, Rate: 1},
+		chaos.Rule{Point: chaos.StoreGet, Fault: chaos.Cancel, Rate: 0.3},
+		chaos.Rule{Point: chaos.StorePut, Fault: chaos.Cancel, Rate: 0.3},
 	)
 	fast := func(_ context.Context, spec core.Spec) (*core.Solution, error) {
 		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
 	}
-	s := newServer(config{maxInFlight: 4, queueDepth: 4, queueWait: time.Second,
-		solver: fast, chaos: inj})
+	s := mustServer(t, config{maxInFlight: 4, queueDepth: 4, queueWait: time.Second,
+		solver: fast, chaos: inj, storeDir: t.TempDir()})
 	ts := httptest.NewServer(s)
 	client := ts.Client()
 
@@ -309,16 +319,28 @@ func TestChaosServerNoUnexpected5xx(t *testing.T) {
 		}
 	}
 
-	// The armed server's /metrics carries the per-point chaos block.
+	// The armed server's /metrics carries the per-point chaos block,
+	// and the store block must report zero corrupt reads: faults may
+	// cost hits and durability, never integrity.
 	_, body := get(t, ts.URL+"/metrics")
 	var m struct {
 		Chaos map[string]map[string]int64 `json:"chaos"`
+		Store map[string]int64            `json:"store"`
 	}
 	if err := json.Unmarshal(body, &m); err != nil {
 		t.Fatal(err)
 	}
 	if len(m.Chaos) != len(chaos.Points()) {
 		t.Fatalf("metrics chaos block has %d points, want %d:\n%s", len(m.Chaos), len(chaos.Points()), body)
+	}
+	if m.Store == nil {
+		t.Fatalf("metrics store block missing:\n%s", body)
+	}
+	if m.Store["corrupt_reads"] != 0 {
+		t.Fatalf("chaos run produced %d corrupt reads, want 0", m.Store["corrupt_reads"])
+	}
+	if m.Store["recover_faults"] != 1 {
+		t.Fatalf("recover_faults = %d, want 1 (absorbed at Open)", m.Store["recover_faults"])
 	}
 
 	client.CloseIdleConnections()

@@ -9,6 +9,14 @@
 // With -local (the default) the same sweep also runs in-process
 // through internal/explore, demonstrating that the API and the
 // library return identical design points.
+//
+// With -job the example instead demonstrates durable sweep jobs: it
+// builds and launches its own cactid-serve with a -store directory,
+// submits a sweep job, interrupts the server mid-sweep, restarts it
+// on the same store, and shows the job resuming from its checkpoint
+// (already-solved points replay from the durable tier at zero solver
+// cost). Run it from the repository root so `go build
+// ./cmd/cactid-serve` resolves.
 package main
 
 import (
@@ -20,16 +28,25 @@ import (
 	"log"
 	"math/rand"
 	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"time"
 
 	"cactid/internal/explore"
 )
 
-// postWithRetry POSTs the body, retrying 429/503 shed responses with
-// exponential backoff and jitter. A Retry-After header (seconds)
-// overrides the computed backoff — the server knows its queue better
-// than the client does. Anything else is returned to the caller.
+// postWithRetry POSTs the body, retrying only genuinely retryable
+// shed responses — 429 Too Many Requests and 503 Service Unavailable
+// — with exponential backoff and jitter. A Retry-After header
+// (seconds) overrides the computed backoff: the server knows its
+// queue better than the client does.
+//
+// Every other non-2xx status (400 malformed grid, 404 unknown job,
+// 422 infeasible spec, ...) is terminal: retrying cannot change the
+// answer, so the server's error body is surfaced immediately instead
+// of being burned through the retry budget.
 func postWithRetry(client *http.Client, url string, body []byte, attempts int) (*http.Response, error) {
 	backoff := 250 * time.Millisecond
 	for attempt := 1; ; attempt++ {
@@ -37,9 +54,17 @@ func postWithRetry(client *http.Client, url string, body []byte, attempts int) (
 		if err != nil {
 			return nil, err
 		}
-		if resp.StatusCode != http.StatusTooManyRequests &&
-			resp.StatusCode != http.StatusServiceUnavailable {
+		switch {
+		case resp.StatusCode < 300:
 			return resp, nil
+		case resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable:
+			// Shed under load: fall through to the retry path below.
+		default:
+			var e map[string]string
+			json.NewDecoder(resp.Body).Decode(&e)
+			resp.Body.Close()
+			return nil, fmt.Errorf("%s: %s", resp.Status, e["error"])
 		}
 		delay := backoff
 		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
@@ -61,7 +86,15 @@ func postWithRetry(client *http.Client, url string, body []byte, attempts int) (
 func main() {
 	addr := flag.String("addr", "http://localhost:8080", "cactid-serve base URL")
 	local := flag.Bool("local", true, "also run the sweep in-process and compare")
+	job := flag.Bool("job", false, "demo durable sweep jobs: submit, kill the server mid-sweep, resume")
 	flag.Parse()
+
+	if *job {
+		if err := runJobDemo(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	// An L3-sized sweep: three technologies, four capacities, two
 	// associativities — 24 design points, one HTTP request.
@@ -87,11 +120,6 @@ func main() {
 		log.Fatalf("POST /v1/pareto: %v (is cactid-serve running? go run ./cmd/cactid-serve)", err)
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e map[string]string
-		json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("server returned %s: %s", resp.Status, e["error"])
-	}
 	var env struct {
 		Points  int `json:"points"`
 		Skipped int `json:"skipped"`
@@ -131,4 +159,154 @@ func main() {
 	frontier := explore.Frontier(results)
 	fmt.Printf("in-process sweep agrees: %d frontier points (server: %d), cache now holds %d entries\n",
 		len(frontier), len(env.Results), eng.Stats().CacheEntries)
+}
+
+// jobStatus is the slice of the job JSON this demo reads.
+type jobStatus struct {
+	ID          string `json:"id"`
+	State       string `json:"state"`
+	Points      int    `json:"points"`
+	Completed   int    `json:"completed"`
+	ResumedFrom int    `json:"resumed_from"`
+}
+
+// runJobDemo builds cactid-serve, runs it with a durable store,
+// submits a sweep job, interrupts the server once the first
+// checkpoint lands, restarts it on the same store directory and
+// watches the job resume to completion.
+func runJobDemo() error {
+	dir, err := os.MkdirTemp("", "cactid-job-demo-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "cactid-serve")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/cactid-serve")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("go build ./cmd/cactid-serve: %w (run from the repository root)", err)
+	}
+
+	const addr = "127.0.0.1:8093"
+	base := "http://" + addr
+	storeDir := filepath.Join(dir, "store")
+	client := &http.Client{Timeout: time.Minute}
+
+	// One worker and a small checkpoint granularity widen the window
+	// in which the kill lands mid-sweep; neither changes the results.
+	start := func() (*exec.Cmd, error) {
+		cmd := exec.Command(bin, "-addr", addr, "-store", storeDir,
+			"-workers", "1", "-checkpoint-every", "4")
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return nil, err
+		}
+		for i := 0; i < 200; i++ {
+			if r, err := client.Get(base + "/healthz"); err == nil {
+				r.Body.Close()
+				if r.StatusCode == http.StatusOK {
+					return cmd, nil
+				}
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		cmd.Process.Kill()
+		cmd.Wait()
+		return nil, fmt.Errorf("server on %s did not become healthy", addr)
+	}
+	stop := func(cmd *exec.Cmd) {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}
+
+	poll := func(id string) (jobStatus, error) {
+		var st jobStatus
+		r, err := client.Get(base + "/v1/sweep-jobs/" + id + "?results=false")
+		if err != nil {
+			return st, err
+		}
+		defer r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			return st, fmt.Errorf("GET job: %s", r.Status)
+		}
+		return st, json.NewDecoder(r.Body).Decode(&st)
+	}
+
+	fmt.Println("[1/4] starting cactid-serve with -store", storeDir)
+	srv, err := start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if srv != nil {
+			stop(srv)
+		}
+	}()
+
+	// A 16-point L3-sized SRAM sweep: checkpoints land every 4 points,
+	// and the large capacities keep each solve slow enough that the
+	// interrupt below reliably lands mid-sweep.
+	req := explore.SweepRequest{
+		Base:            explore.SpecRequest{NodeNM: 32, BlockBytes: 64},
+		RAMs:            []string{"sram"},
+		Capacities:      []string{"8MB", "16MB", "32MB", "64MB"},
+		Associativities: []int{1, 2, 4, 8},
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := postWithRetry(client, base+"/v1/sweep-jobs", body, 5)
+	if err != nil {
+		return fmt.Errorf("POST /v1/sweep-jobs: %w", err)
+	}
+	var st jobStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("[2/4] submitted job %s (%d points)\n", st.ID, st.Points)
+
+	// Hard-kill the server — SIGKILL, no drain, no graceful close.
+	// The job record was checkpointed at submit and every solved
+	// point is already in the durable tier, so nothing is lost; the
+	// store's crash recovery handles whatever half-written tail the
+	// kill leaves behind.
+	if st, err = poll(st.ID); err != nil {
+		return err
+	}
+	fmt.Printf("[3/4] hard-killing the server (SIGKILL) at %d/%d checkpointed points\n", st.Completed, st.Points)
+	srv.Process.Kill()
+	srv.Wait()
+	srv = nil
+
+	fmt.Println("[4/4] restarting on the same store; the job resumes from its checkpoint")
+	if srv, err = start(); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		cur, err := poll(st.ID)
+		if err != nil {
+			return err
+		}
+		if cur.State != "running" {
+			st = cur
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("job %s still running after resume", st.ID)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if st.State != "done" {
+		return fmt.Errorf("job %s ended %q after resume", st.ID, st.State)
+	}
+	fmt.Printf("done: job %s resumed from checkpoint %d and completed %d/%d points\n",
+		st.ID, st.ResumedFrom, st.Completed, st.Points)
+	fmt.Println("(any points solved before the kill replayed from the durable tier — no repeat solver work)")
+	return nil
 }

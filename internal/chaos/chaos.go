@@ -46,11 +46,26 @@ const (
 	// ServeHandler arms inside the gated handler, after admission
 	// and deadline setup, before the endpoint logic runs.
 	ServeHandler Point = "serve.handler"
+	// StoreGet arms on every durable-store read (internal/store), a
+	// tier-1 lookup after a tier-0 miss. A Cancel fault surfaces as a
+	// read error the engine must absorb as a miss; a Miss fault makes
+	// the store report the key absent.
+	StoreGet Point = "store.get"
+	// StorePut arms before a durable-store append. A Cancel fault
+	// drops the write: the result stays correct but unpersisted, and
+	// the caller must carry on.
+	StorePut Point = "store.put"
+	// StoreRecover arms once per store.Open, before segment recovery.
+	// Injected faults are absorbed into the recovery counters —
+	// recovery is best-effort by contract and must always yield a
+	// usable store.
+	StoreRecover Point = "store.recover"
 )
 
 // Points lists every named injection point, in catalog order.
 func Points() []Point {
-	return []Point{ExploreWorker, ExploreSolve, CacheLookup, ServeAdmit, ServeHandler}
+	return []Point{ExploreWorker, ExploreSolve, CacheLookup, ServeAdmit, ServeHandler,
+		StoreGet, StorePut, StoreRecover}
 }
 
 // Fault is the kind of failure a rule injects.

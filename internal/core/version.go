@@ -1,0 +1,17 @@
+package core
+
+// ModelVersion tags every durably persisted solver result
+// (internal/store keys results by (ModelVersion, spec fingerprint)).
+// It is bumped — by hand, in the same commit — whenever any change
+// can move a published number by even one ulp: technology tables,
+// circuit models, enumeration order, objective weights, float
+// formatting. Stale store records written under an older version
+// become unreachable rather than silently wrong.
+//
+// The bump discipline is policed mechanically: the 7-digit
+// pinned-output tripwires (explore.TestSolvePinnedOutput,
+// validate.Micron pins, study Table-3 pins) fail on any numeric
+// drift, and explore.TestModelVersionTripwire ties a hash of those
+// pinned outputs to this constant — so a numeric change cannot land
+// without touching both the pins and ModelVersion.
+const ModelVersion = 1

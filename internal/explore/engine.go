@@ -10,6 +10,7 @@ import (
 
 	"cactid/internal/chaos"
 	"cactid/internal/core"
+	"cactid/internal/store"
 )
 
 // ErrSolverPanic marks a panic recovered from a solver invocation or
@@ -40,6 +41,13 @@ type Options struct {
 	// inject counting or slow solvers). The context is the
 	// requester's: solvers should abandon work when it is cancelled.
 	Solver func(context.Context, core.Spec) (*core.Solution, error)
+	// Tier1 plugs a durable result store under the in-memory cache:
+	// the sharded LRU is tier 0, Tier1 is consulted on a tier-0 miss
+	// before the solver runs, and pure outcomes are written back. A
+	// tier-1 read fault is absorbed as a miss; nil disables the tier.
+	// Singleflight still applies: concurrent fingerprint-equal
+	// requests perform one tier-1 lookup, not one each.
+	Tier1 store.Tiered
 	// Chaos arms the engine's fault-injection points
 	// (explore.worker, explore.solve, and — for a private cache —
 	// explore.cache.lookup). Nil disables injection entirely.
@@ -54,9 +62,14 @@ type Engine struct {
 	workers int
 	solver  func(context.Context, core.Spec) (*core.Solution, error)
 	chaos   *chaos.Injector // nil = fault injection disabled
+	tier1   store.Tiered    // nil = durable tier disabled
 
-	solves atomic.Int64 // solver invocations (cache misses)
-	hits   atomic.Int64 // results served from cache or an in-flight solve
+	solves atomic.Int64 // solver invocations (misses in every tier)
+	hits   atomic.Int64 // results served from tier 0 or an in-flight solve
+
+	tier1Hits   atomic.Int64 // results served from the durable tier
+	tier1Misses atomic.Int64 // tier-1 lookups that fell through to the solver
+
 	panics atomic.Int64 // panics recovered from solver calls and sweep workers
 
 	// Enumeration coverage, accumulated from core.SolveStats by the
@@ -68,7 +81,8 @@ type Engine struct {
 
 // New returns an Engine with the given options.
 func New(opts Options) *Engine {
-	e := &Engine{cache: opts.Cache, workers: opts.Workers, solver: opts.Solver, chaos: opts.Chaos}
+	e := &Engine{cache: opts.Cache, workers: opts.Workers, solver: opts.Solver,
+		chaos: opts.Chaos, tier1: opts.Tier1}
 	if e.cache == nil {
 		e.cache = NewCacheWith(CacheConfig{MaxEntries: opts.CacheEntries, Chaos: opts.Chaos})
 	}
@@ -133,6 +147,19 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, fp string) (*core.So
 		close(ent.ready)
 		return nil, false, err
 	}
+	if e.tier1 != nil {
+		// This is the singleflight owner path, so concurrent
+		// fingerprint-equal requests cost one durable lookup total. A
+		// hit fills tier 0 (the entry is already installed) and
+		// reports cached=true, same as a tier-0 hit.
+		if hit, ok := e.tier1.Lookup(ctx, fp); ok {
+			e.tier1Hits.Add(1)
+			ent.sol, ent.err = hit.Solution, hit.Err
+			close(ent.ready)
+			return ent.sol, true, ent.err
+		}
+		e.tier1Misses.Add(1)
+	}
 	e.solves.Add(1)
 	ent.sol, ent.err = e.runSolver(ctx, spec)
 	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
@@ -140,6 +167,10 @@ func (e *Engine) solve(ctx context.Context, spec core.Spec, fp string) (*core.So
 		// failure says nothing about the spec, so don't poison the
 		// cache with it.
 		e.cache.forget(fp)
+	} else if e.tier1 != nil {
+		// Persist the pure outcome (Save drops impure ones itself);
+		// a write fault costs durability, never correctness.
+		e.tier1.Save(ctx, fp, ent.sol, ent.err)
 	}
 	close(ent.ready)
 	return ent.sol, false, ent.err
@@ -247,8 +278,12 @@ func (e *Engine) Pareto(ctx context.Context, specs []core.Spec) []Result {
 // Stats is a snapshot of the engine's cache and enumeration counters.
 type Stats struct {
 	Solves       int64 `json:"solves"`
-	CacheHits    int64 `json:"cache_hits"`
+	CacheHits    int64 `json:"cache_hits"` // tier-0 (in-memory) hits
 	CacheEntries int   `json:"cache_entries"`
+
+	// Durable-tier counters, zero when no Tier1 store is plugged in.
+	Tier1Hits   int64 `json:"tier1_hits"`
+	Tier1Misses int64 `json:"tier1_misses"`
 
 	// Robustness counters: the cache's entry bound and churn, and
 	// panics recovered from solver calls or sweep workers.
@@ -265,13 +300,15 @@ type Stats struct {
 	OrgsBuilt      int64 `json:"orgs_built"`
 }
 
-// HitRatio returns hits / (hits + solves), 0 when idle.
+// HitRatio returns the fraction of requests served without running
+// the solver (tier-0 and tier-1 hits combined), 0 when idle.
 func (s Stats) HitRatio() float64 {
-	total := s.CacheHits + s.Solves
+	hits := s.CacheHits + s.Tier1Hits
+	total := hits + s.Solves
 	if total == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(total)
+	return float64(hits) / float64(total)
 }
 
 // PruneRatio returns the fraction of considered organizations
@@ -290,6 +327,8 @@ func (e *Engine) Stats() Stats {
 		Solves:            e.solves.Load(),
 		CacheHits:         e.hits.Load(),
 		CacheEntries:      cs.Entries,
+		Tier1Hits:         e.tier1Hits.Load(),
+		Tier1Misses:       e.tier1Misses.Load(),
 		CacheMaxEntries:   cs.MaxEntries,
 		CacheEvictions:    cs.Evictions,
 		CacheForcedMisses: cs.ForcedMisses,

@@ -1,0 +1,81 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreRecover feeds arbitrary segment and index bytes to Open
+// and asserts the two recovery invariants: never panic, and never
+// serve a record that fails validation. The checked-in corpus
+// (testdata/fuzz/FuzzStoreRecover) pins the interesting shapes: a
+// torn tail, a flipped payload checksum, a duplicate key, a valid
+// snapshot, and a snapshot whose CRC lies.
+func FuzzStoreRecover(f *testing.F) {
+	valid := append([]byte(segMagic), encodeRecord("key-a", []byte("val-a"))...)
+	valid = append(valid, encodeRecord("key-b", []byte("val-b"))...)
+	f.Add([]byte{}, []byte{})
+	f.Add(valid, []byte{})
+	f.Add(valid[:len(valid)-3], []byte{}) // torn tail
+	f.Add([]byte(segMagic), []byte(indexMagic))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(segMagic)+recHeaderLen+2] ^= 0x40 // corrupt first key byte
+	f.Add(flipped, []byte{})
+
+	f.Fuzz(func(t *testing.T, segBytes, idxBytes []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "seg-00000001.log"), segBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if len(idxBytes) > 0 {
+			if err := os.WriteFile(filepath.Join(dir, indexName), idxBytes, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s, err := Open(Config{Dir: dir})
+		if err != nil {
+			// Open may fail only on environmental errors, never on
+			// corrupt bytes; in a fresh tempdir there are none.
+			t.Fatalf("Open failed on corrupt-but-readable input: %v", err)
+		}
+		defer s.Close()
+
+		ctx := context.Background()
+		for _, key := range s.Keys("") {
+			val, ok, err := s.Get(ctx, key)
+			if err != nil {
+				t.Fatalf("Get(%q): %v", key, err)
+			}
+			if !ok {
+				continue // recovery indexed it but the read-side check rejected it: a miss, by contract
+			}
+			// Served records must re-verify: re-encoding the returned
+			// pair must reproduce the exact on-disk frame.
+			rec := encodeRecord(key, val)
+			if _, _, valid := parseRecord(rec); !valid {
+				t.Fatalf("served record for %q fails validation", key)
+			}
+		}
+
+		// The recovered store must accept writes and survive a reopen
+		// with the new record intact.
+		if err := s.Put(ctx, "post-recovery", []byte("write")); err != nil {
+			t.Fatalf("Put after recovery: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		r, err := Open(Config{Dir: dir})
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		defer r.Close()
+		got, ok, err := r.Get(ctx, "post-recovery")
+		if err != nil || !ok || !bytes.Equal(got, []byte("write")) {
+			t.Fatalf("post-recovery record lost: %q ok=%v err=%v", got, ok, err)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"cactid/internal/array"
+	"cactid/internal/core"
+)
+
+// Tiered is the durable tier-1 contract the exploration engine
+// composes under its in-memory result cache (tier 0): a persistent
+// map from spec fingerprint to solve outcome. Implementations must be
+// safe for concurrent use and must never return a corrupt outcome —
+// any doubt is reported as a miss.
+type Tiered interface {
+	// Lookup returns the persisted outcome for a fingerprint. ok is
+	// false on a miss, a read fault, or a record written under a
+	// different ModelVersion.
+	Lookup(ctx context.Context, fingerprint string) (Hit, bool)
+	// Save persists a pure outcome. Outcomes that Persistable rejects
+	// and write faults are dropped silently: the store is a cache of
+	// recomputable results, so losing a write costs durability only.
+	Save(ctx context.Context, fingerprint string, sol *core.Solution, solveErr error)
+}
+
+// Hit is one outcome served from the durable tier: either a solution
+// or a deterministic solver error (ErrNoSolution), never both.
+type Hit struct {
+	Solution *core.Solution
+	Err      error
+}
+
+// Persistable reports whether a solve outcome may be written to the
+// durable tier: a success, or the deterministic "spec admits no
+// feasible design" verdict. Cancellations, deadline hits, recovered
+// panics and injected faults are circumstances of one run, not
+// properties of the spec, and must never be replayed to later
+// callers.
+func Persistable(solveErr error) bool {
+	return solveErr == nil || errors.Is(solveErr, core.ErrNoSolution)
+}
+
+// solutionRecord is the JSON payload persisted per fingerprint. It
+// carries the canonical spec, the solution's scalar metrics, and the
+// data/tag organizations — exactly the surface every exporter
+// (SolutionJSON, ResultJSON, WriteCSV, Frontier) consumes — rather
+// than the full evaluated design tree, which drags in technology
+// tables that ModelVersion already pins. encoding/json formats
+// float64 with the shortest representation that round-trips exactly,
+// so rehydrated metrics are bit-identical.
+type solutionRecord struct {
+	ModelVersion int `json:"model_version"`
+
+	NoSolution bool   `json:"no_solution,omitempty"`
+	ErrText    string `json:"error,omitempty"`
+
+	Spec *core.Spec `json:"spec,omitempty"`
+
+	AccessTime      float64 `json:"access_time_s,omitempty"`
+	RandomCycle     float64 `json:"random_cycle_s,omitempty"`
+	InterleaveCycle float64 `json:"interleave_cycle_s,omitempty"`
+	Area            float64 `json:"area_m2,omitempty"`
+	BankArea        float64 `json:"bank_area_m2,omitempty"`
+	AreaEff         float64 `json:"area_efficiency,omitempty"`
+	EReadPerAccess  float64 `json:"read_energy_j,omitempty"`
+	EWritePerAccess float64 `json:"write_energy_j,omitempty"`
+	LeakagePower    float64 `json:"leakage_w,omitempty"`
+	RefreshPower    float64 `json:"refresh_w,omitempty"`
+
+	DataOrg            *array.Org `json:"data_org,omitempty"`
+	DataPipelineStages int        `json:"data_pipeline_stages,omitempty"`
+	TagOrg             *array.Org `json:"tag_org,omitempty"`
+}
+
+// Solutions adapts a Store into the Tiered interface, handling the
+// (ModelVersion, fingerprint) keying and the solution codec.
+type Solutions struct {
+	s *Store
+}
+
+// NewSolutions wraps a Store as the engine's durable tier.
+func NewSolutions(s *Store) *Solutions { return &Solutions{s: s} }
+
+// Store returns the underlying store (for stats and lifecycle).
+func (t *Solutions) Store() *Store { return t.s }
+
+// solutionKey namespaces fingerprints by model version, so a bumped
+// ModelVersion orphans every stale record instead of serving it.
+func solutionKey(fingerprint string) string {
+	return fmt.Sprintf("s:%d:%s", core.ModelVersion, fingerprint)
+}
+
+// Lookup implements Tiered.
+func (t *Solutions) Lookup(ctx context.Context, fingerprint string) (Hit, bool) {
+	val, ok, err := t.s.Get(ctx, solutionKey(fingerprint))
+	if err != nil || !ok {
+		return Hit{}, false
+	}
+	var rec solutionRecord
+	if json.Unmarshal(val, &rec) != nil || rec.ModelVersion != core.ModelVersion {
+		// Structurally invalid payloads count as corruption the CRC
+		// could not catch (a bug, not bit rot) — still served as a
+		// miss, never as a wrong answer.
+		t.s.corruptReads.Add(1)
+		return Hit{}, false
+	}
+	if rec.NoSolution {
+		return Hit{Err: rehydrateNoSolution(rec.ErrText)}, true
+	}
+	if rec.Spec == nil || rec.DataOrg == nil {
+		t.s.corruptReads.Add(1)
+		return Hit{}, false
+	}
+	sol := &core.Solution{
+		Spec:            *rec.Spec,
+		Data:            &array.Bank{Org: *rec.DataOrg, PipelineStages: rec.DataPipelineStages},
+		AccessTime:      rec.AccessTime,
+		RandomCycle:     rec.RandomCycle,
+		InterleaveCycle: rec.InterleaveCycle,
+		Area:            rec.Area,
+		BankArea:        rec.BankArea,
+		AreaEff:         rec.AreaEff,
+		EReadPerAccess:  rec.EReadPerAccess,
+		EWritePerAccess: rec.EWritePerAccess,
+		LeakagePower:    rec.LeakagePower,
+		RefreshPower:    rec.RefreshPower,
+	}
+	if rec.TagOrg != nil {
+		sol.Tag = &array.Bank{Org: *rec.TagOrg}
+	}
+	return Hit{Solution: sol}, true
+}
+
+// Save implements Tiered.
+func (t *Solutions) Save(ctx context.Context, fingerprint string, sol *core.Solution, solveErr error) {
+	if !Persistable(solveErr) {
+		return
+	}
+	rec := solutionRecord{ModelVersion: core.ModelVersion}
+	switch {
+	case solveErr != nil:
+		rec.NoSolution = true
+		rec.ErrText = solveErr.Error()
+	case sol == nil || sol.Data == nil:
+		return
+	default:
+		spec := sol.Spec
+		rec.Spec = &spec
+		rec.AccessTime = sol.AccessTime
+		rec.RandomCycle = sol.RandomCycle
+		rec.InterleaveCycle = sol.InterleaveCycle
+		rec.Area = sol.Area
+		rec.BankArea = sol.BankArea
+		rec.AreaEff = sol.AreaEff
+		rec.EReadPerAccess = sol.EReadPerAccess
+		rec.EWritePerAccess = sol.EWritePerAccess
+		rec.LeakagePower = sol.LeakagePower
+		rec.RefreshPower = sol.RefreshPower
+		org := sol.Data.Org
+		rec.DataOrg = &org
+		rec.DataPipelineStages = sol.Data.PipelineStages
+		if sol.Tag != nil {
+			torg := sol.Tag.Org
+			rec.TagOrg = &torg
+		}
+	}
+	val, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	// Write faults (chaos or I/O) are dropped by contract: the result
+	// is already correct in memory, only durability is lost.
+	_ = t.s.Put(ctx, solutionKey(fingerprint), val)
+}
+
+// noSolutionError rehydrates a persisted ErrNoSolution verdict with
+// its original text while still satisfying
+// errors.Is(err, core.ErrNoSolution), so HTTP 422 mapping and error
+// strings are byte-identical across a restart.
+type noSolutionError struct{ msg string }
+
+func (e *noSolutionError) Error() string { return e.msg }
+
+func (e *noSolutionError) Is(target error) bool { return target == core.ErrNoSolution }
+
+func rehydrateNoSolution(msg string) error {
+	if msg == "" || msg == core.ErrNoSolution.Error() {
+		return core.ErrNoSolution
+	}
+	return &noSolutionError{msg: msg}
+}

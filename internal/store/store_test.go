@@ -1,0 +1,491 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"cactid/internal/chaos"
+	"cactid/internal/core"
+	"cactid/internal/tech"
+)
+
+func openT(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, key string, val []byte) {
+	t.Helper()
+	if err := s.Put(context.Background(), key, val); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
+func mustGet(t *testing.T, s *Store, key string) []byte {
+	t.Helper()
+	val, ok, err := s.Get(context.Background(), key)
+	if err != nil || !ok {
+		t.Fatalf("Get(%q) = ok=%v err=%v, want hit", key, ok, err)
+	}
+	return val
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t, Config{Dir: t.TempDir()})
+	mustPut(t, s, "alpha", []byte("one"))
+	mustPut(t, s, "beta", []byte("two"))
+	if got := mustGet(t, s, "alpha"); string(got) != "one" {
+		t.Fatalf("alpha = %q", got)
+	}
+	if _, ok, err := s.Get(context.Background(), "gamma"); ok || err != nil {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	// Last write wins.
+	mustPut(t, s, "alpha", []byte("uno"))
+	if got := mustGet(t, s, "alpha"); string(got) != "uno" {
+		t.Fatalf("alpha after overwrite = %q", got)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestReopenRecoversAll(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir})
+	want := map[string]string{}
+	for i := 0; i < 50; i++ {
+		k, v := fmt.Sprintf("key-%03d", i), fmt.Sprintf("val-%d", i*i)
+		mustPut(t, s, k, []byte(v))
+		want[k] = v
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := s.Put(context.Background(), "x", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+
+	r := openT(t, Config{Dir: dir})
+	for k, v := range want {
+		if got := mustGet(t, r, k); string(got) != v {
+			t.Fatalf("%s = %q, want %q", k, got, v)
+		}
+	}
+	st := r.Stats()
+	if st.Keys != 50 {
+		t.Fatalf("Keys = %d, want 50", st.Keys)
+	}
+	// A clean Close leaves an index snapshot covering everything, so
+	// reopen should not have replayed records from the log.
+	if st.RecoveredRecords != 0 {
+		t.Fatalf("RecoveredRecords = %d, want 0 (index snapshot should cover all)", st.RecoveredRecords)
+	}
+}
+
+func TestReopenWithoutIndexReplaysLog(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir})
+	mustPut(t, s, "a", []byte("1"))
+	mustPut(t, s, "b", []byte("2"))
+	s.Close()
+	if err := os.Remove(filepath.Join(dir, indexName)); err != nil {
+		t.Fatalf("remove index: %v", err)
+	}
+	r := openT(t, Config{Dir: dir})
+	if got := mustGet(t, r, "b"); string(got) != "2" {
+		t.Fatalf("b = %q", got)
+	}
+	if st := r.Stats(); st.RecoveredRecords != 2 {
+		t.Fatalf("RecoveredRecords = %d, want 2", st.RecoveredRecords)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir, SegmentBytes: 256})
+	val := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 20; i++ {
+		mustPut(t, s, fmt.Sprintf("k%02d", i), val)
+	}
+	st := s.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("Segments = %d, want several after rotation", st.Segments)
+	}
+	for i := 0; i < 20; i++ {
+		mustGet(t, s, fmt.Sprintf("k%02d", i)) // old segments stay readable
+	}
+	s.Close()
+
+	r := openT(t, Config{Dir: dir, SegmentBytes: 256})
+	for i := 0; i < 20; i++ {
+		if got := mustGet(t, r, fmt.Sprintf("k%02d", i)); !bytes.Equal(got, val) {
+			t.Fatalf("k%02d corrupted after reopen", i)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir})
+	mustPut(t, s, "good", []byte("payload"))
+	s.Close()
+	os.Remove(filepath.Join(dir, indexName)) // force a log rescan
+
+	// Simulate a crash mid-append: a partial record at the tail.
+	seg := filepath.Join(dir, "seg-00000001.log")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := encodeRecord("torn-key", []byte("torn-value"))[:17]
+	f.Write(torn)
+	f.Close()
+
+	r := openT(t, Config{Dir: dir})
+	if got := mustGet(t, r, "good"); string(got) != "payload" {
+		t.Fatalf("good = %q", got)
+	}
+	st := r.Stats()
+	if st.TruncatedBytes != int64(len(torn)) {
+		t.Fatalf("TruncatedBytes = %d, want %d", st.TruncatedBytes, len(torn))
+	}
+	// The torn bytes are physically gone: appends continue cleanly.
+	mustPut(t, r, "after", []byte("crash"))
+	r.Close()
+	r2 := openT(t, Config{Dir: dir})
+	if got := mustGet(t, r2, "after"); string(got) != "crash" {
+		t.Fatalf("after = %q", got)
+	}
+}
+
+func TestBadChecksumRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir})
+	mustPut(t, s, "first", []byte("aaaa"))
+	mustPut(t, s, "second", []byte("bbbb"))
+	mustPut(t, s, "third", []byte("cccc"))
+	s.Close()
+	os.Remove(filepath.Join(dir, indexName))
+
+	// Flip a payload byte of the middle record; its frame stays
+	// plausible so recovery must skip it and still find "third".
+	seg := filepath.Join(dir, "seg-00000001.log")
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(buf, []byte("bbbb"))
+	if i < 0 {
+		t.Fatal("test setup: payload not found")
+	}
+	buf[i] ^= 0xff
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, Config{Dir: dir})
+	if _, ok, _ := r.Get(context.Background(), "second"); ok {
+		t.Fatal("corrupt record was served")
+	}
+	if got := mustGet(t, r, "first"); string(got) != "aaaa" {
+		t.Fatalf("first = %q", got)
+	}
+	if got := mustGet(t, r, "third"); string(got) != "cccc" {
+		t.Fatalf("third = %q", got)
+	}
+	if st := r.Stats(); st.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", st.SkippedRecords)
+	}
+}
+
+func TestCorruptIndexFallsBackToRescan(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir})
+	mustPut(t, s, "k", []byte("v"))
+	s.Close()
+	idx := filepath.Join(dir, indexName)
+	buf, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff // break the trailing CRC
+	if err := os.WriteFile(idx, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openT(t, Config{Dir: dir})
+	if got := mustGet(t, r, "k"); string(got) != "v" {
+		t.Fatalf("k = %q", got)
+	}
+	if st := r.Stats(); st.RecoveredRecords != 1 {
+		t.Fatalf("RecoveredRecords = %d, want 1 (rescan)", st.RecoveredRecords)
+	}
+}
+
+func TestIndexSurvivingLostTail(t *testing.T) {
+	// A crash can persist the index snapshot while the unsynced
+	// segment tail it points into is lost. Entries beyond the real
+	// file end must be dropped, not served.
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir, FlushEvery: 1})
+	mustPut(t, s, "kept", []byte("still-here"))
+	mustPut(t, s, "lost", []byte("vanishes"))
+	s.Close()
+
+	seg := filepath.Join(dir, "seg-00000001.log")
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lostRec := encodeRecord("lost", []byte("vanishes"))
+	if err := os.Truncate(seg, int64(len(buf)-len(lostRec))); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openT(t, Config{Dir: dir})
+	if _, ok, _ := r.Get(context.Background(), "lost"); ok {
+		t.Fatal("entry pointing past the real file end was served")
+	}
+	if got := mustGet(t, r, "kept"); string(got) != "still-here" {
+		t.Fatalf("kept = %q", got)
+	}
+}
+
+func TestGetVerifiesChecksumOnRead(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir})
+	mustPut(t, s, "target", []byte("pristine"))
+	// Corrupt the record on disk under the open store's feet.
+	seg := filepath.Join(dir, "seg-00000001.log")
+	buf, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := bytes.Index(buf, []byte("pristine"))
+	buf[i] ^= 0x01
+	if err := os.WriteFile(seg, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get(context.Background(), "target"); ok {
+		t.Fatal("Get served a record that fails its checksum")
+	}
+	if st := s.Stats(); st.CorruptReads != 1 {
+		t.Fatalf("CorruptReads = %d, want 1", st.CorruptReads)
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := openT(t, Config{Dir: t.TempDir()})
+	mustPut(t, s, "s:1:aaa", nil)
+	mustPut(t, s, "s:1:bbb", nil)
+	mustPut(t, s, "j:job1", nil)
+	got := s.Keys("s:1:")
+	if want := []string{"s:1:aaa", "s:1:bbb"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if n := len(s.Keys("")); n != 3 {
+		t.Fatalf("all keys = %d, want 3", n)
+	}
+}
+
+func TestPutBounds(t *testing.T) {
+	s := openT(t, Config{Dir: t.TempDir()})
+	if err := s.Put(context.Background(), "", []byte("x")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(context.Background(), string(bytes.Repeat([]byte("k"), maxKeyLen+1)), nil); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestChaosFaults(t *testing.T) {
+	inj := chaos.New(42,
+		chaos.Rule{Point: chaos.StoreGet, Fault: chaos.Cancel, Rate: 1},
+		chaos.Rule{Point: chaos.StorePut, Fault: chaos.Cancel, Rate: 1},
+		chaos.Rule{Point: chaos.StoreRecover, Fault: chaos.Cancel, Rate: 1},
+	)
+	dir := t.TempDir()
+	s, err := Open(Config{Dir: dir, Chaos: inj})
+	if err != nil {
+		t.Fatalf("Open with recover fault must still succeed: %v", err)
+	}
+	defer s.Close()
+	if err := s.Put(context.Background(), "k", []byte("v")); err == nil {
+		t.Fatal("injected put fault not surfaced")
+	}
+	if _, ok, err := s.Get(context.Background(), "k"); ok || err == nil {
+		t.Fatalf("injected get fault: ok=%v err=%v", ok, err)
+	}
+	st := s.Stats()
+	if st.RecoverFaults != 1 || st.PutFaults != 1 || st.GetFaults != 1 {
+		t.Fatalf("fault counters = %+v", st)
+	}
+	if st.Keys != 0 {
+		t.Fatal("dropped write still visible")
+	}
+}
+
+func TestChaosForcedMiss(t *testing.T) {
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir})
+	mustPut(t, s, "k", []byte("v"))
+	s.Close()
+	inj := chaos.New(7, chaos.Rule{Point: chaos.StoreGet, Fault: chaos.Miss, Rate: 1})
+	r := openT(t, Config{Dir: dir, Chaos: inj})
+	if _, ok, err := r.Get(context.Background(), "k"); ok || err != nil {
+		t.Fatalf("forced miss: ok=%v err=%v", ok, err)
+	}
+}
+
+func solvedSolution() *core.Solution {
+	spec := core.Spec{
+		Node: tech.Node65, RAM: tech.SRAM, CapacityBytes: 64 << 10,
+		BlockBytes: 64, Associativity: 4, Banks: 1,
+		IsCache: true, Mode: core.Normal,
+	}
+	c, err := spec.Canonical()
+	if err != nil {
+		panic(err)
+	}
+	sol, err := core.Optimize(c)
+	if err != nil {
+		panic(err)
+	}
+	return sol
+}
+
+func TestSolutionsRoundTrip(t *testing.T) {
+	s := openT(t, Config{Dir: t.TempDir()})
+	tier := NewSolutions(s)
+	ctx := context.Background()
+
+	sol := solvedSolution()
+	fp, err := sol.Spec.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier.Save(ctx, fp, sol, nil)
+	hit, ok := tier.Lookup(ctx, fp)
+	if !ok || hit.Err != nil || hit.Solution == nil {
+		t.Fatalf("Lookup = %+v ok=%v", hit, ok)
+	}
+	got := hit.Solution
+	if got.AccessTime != sol.AccessTime || got.EReadPerAccess != sol.EReadPerAccess ||
+		got.LeakagePower != sol.LeakagePower || got.AreaEff != sol.AreaEff {
+		t.Fatalf("scalar drift: got %+v", got)
+	}
+	if got.Data.Org != sol.Data.Org || got.Data.PipelineStages != sol.Data.PipelineStages {
+		t.Fatalf("data org drift: %v vs %v", got.Data.Org, sol.Data.Org)
+	}
+	if (got.Tag == nil) != (sol.Tag == nil) || (got.Tag != nil && got.Tag.Org != sol.Tag.Org) {
+		t.Fatal("tag org drift")
+	}
+	if !reflect.DeepEqual(got.Spec, sol.Spec) {
+		t.Fatalf("spec drift:\n got %+v\nwant %+v", got.Spec, sol.Spec)
+	}
+}
+
+func TestSolutionsNoSolutionRoundTrip(t *testing.T) {
+	s := openT(t, Config{Dir: t.TempDir()})
+	tier := NewSolutions(s)
+	ctx := context.Background()
+
+	tier.Save(ctx, "fp-nosol", nil, core.ErrNoSolution)
+	hit, ok := tier.Lookup(ctx, "fp-nosol")
+	if !ok || hit.Solution != nil {
+		t.Fatalf("Lookup = %+v ok=%v", hit, ok)
+	}
+	if !errors.Is(hit.Err, core.ErrNoSolution) {
+		t.Fatalf("err = %v, want ErrNoSolution", hit.Err)
+	}
+	if hit.Err.Error() != core.ErrNoSolution.Error() {
+		t.Fatalf("error text drift: %q", hit.Err.Error())
+	}
+
+	wrapped := fmt.Errorf("point 3: %w", core.ErrNoSolution)
+	tier.Save(ctx, "fp-wrapped", nil, wrapped)
+	hit, ok = tier.Lookup(ctx, "fp-wrapped")
+	if !ok || !errors.Is(hit.Err, core.ErrNoSolution) || hit.Err.Error() != wrapped.Error() {
+		t.Fatalf("wrapped round trip: %+v ok=%v", hit, ok)
+	}
+}
+
+func TestSolutionsRejectsImpureOutcomes(t *testing.T) {
+	s := openT(t, Config{Dir: t.TempDir()})
+	tier := NewSolutions(s)
+	ctx := context.Background()
+	tier.Save(ctx, "fp-cancel", nil, context.Canceled)
+	tier.Save(ctx, "fp-deadline", nil, context.DeadlineExceeded)
+	tier.Save(ctx, "fp-nil-sol", nil, nil)
+	if s.Len() != 0 {
+		t.Fatalf("impure outcomes persisted: %v", s.Keys(""))
+	}
+	if _, ok := tier.Lookup(ctx, "fp-cancel"); ok {
+		t.Fatal("impure outcome served")
+	}
+}
+
+func TestSolutionsModelVersionMismatch(t *testing.T) {
+	s := openT(t, Config{Dir: t.TempDir()})
+	tier := NewSolutions(s)
+	ctx := context.Background()
+	// A record written under a different model version must miss.
+	stale := fmt.Sprintf(`{"model_version":%d,"no_solution":true}`, core.ModelVersion+1)
+	mustPut(t, s, solutionKey("fp-stale"), []byte(stale))
+	if _, ok := tier.Lookup(ctx, "fp-stale"); ok {
+		t.Fatal("stale model version served")
+	}
+}
+
+func TestFlushIndexFrontierConsistency(t *testing.T) {
+	// After Flush, reopening must not replay anything: the snapshot
+	// frontier covers every record.
+	dir := t.TempDir()
+	s := openT(t, Config{Dir: dir, FlushEvery: 1000})
+	for i := 0; i < 10; i++ {
+		mustPut(t, s, fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without Close (handles stay open; simulates a crash
+	// after a flush).
+	r := openT(t, Config{Dir: dir})
+	if st := r.Stats(); st.RecoveredRecords != 0 {
+		t.Fatalf("RecoveredRecords = %d, want 0", st.RecoveredRecords)
+	}
+	if r.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", r.Len())
+	}
+}
+
+func TestParseRecordRejectsFrameLies(t *testing.T) {
+	rec := encodeRecord("key", []byte("value"))
+	if _, _, ok := parseRecord(rec); !ok {
+		t.Fatal("valid record rejected")
+	}
+	short := rec[:len(rec)-1]
+	if _, _, ok := parseRecord(short); ok {
+		t.Fatal("truncated record accepted")
+	}
+	bad := append([]byte(nil), rec...)
+	binary.LittleEndian.PutUint32(bad[0:], uint32(len(rec))) // keyLen lies
+	if _, _, ok := parseRecord(bad); ok {
+		t.Fatal("lying frame accepted")
+	}
+}
