@@ -9,7 +9,7 @@
 # only, see .github/workflows/ci.yml).
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: verify build test vet lint race stress fuzz vulncheck bench bench-sweep
+.PHONY: verify build test vet lint race stress fuzz vulncheck bench bench-sweep bench-compare
 
 verify: vet lint build test race
 
@@ -63,3 +63,13 @@ bench:
 
 bench-sweep:
 	go test -run '^$$' -bench BenchmarkExploreSweep -benchmem .
+
+# bench-compare runs BenchmarkSolve pinned to one core and prints
+# per-spec deltas (median ns/op) against the latest recorded round in
+# BENCH_solve.json via cmd/benchcompare. Informational by default;
+# pass BENCH_MAX_REGRESS=1.25 to fail on a >25% regression.
+BENCH_COUNT ?= 3
+BENCH_MAX_REGRESS ?= 0
+bench-compare:
+	GOMAXPROCS=1 go test -run '^$$' -bench BenchmarkSolve -benchmem -count=$(BENCH_COUNT) . \
+		| go run ./cmd/benchcompare -baseline BENCH_solve.json -json -max-regress $(BENCH_MAX_REGRESS)

@@ -1,0 +1,187 @@
+// Command benchcompare compares `go test -bench` output for
+// BenchmarkSolve against the recorded baseline in BENCH_solve.json and
+// prints per-spec deltas:
+//
+//	go test -run '^$' -bench BenchmarkSolve -benchmem -count=3 . |
+//	    go run ./cmd/benchcompare -baseline BENCH_solve.json
+//
+// For each spec the median ns/op (and B/op, allocs/op when present)
+// over the repeated runs is compared against the latest round's
+// "after" results in the baseline file. Output is a human-readable
+// table on stdout; -json additionally emits a machine-readable
+// comparison (for CI artifacts). With -max-regress R the exit status
+// is 1 when any spec's median ns/op regressed by more than the factor
+// R (e.g. 1.25 = 25% slower); 0 disables the gate, which is the
+// default because shared CI runners make wall-clock noisy.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// benchResult is one spec's recorded numbers, matching the schema of
+// BENCH_solve.json result maps.
+type benchResult struct {
+	NsOp     float64 `json:"ns_op"`
+	BytesOp  float64 `json:"bytes_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// baselineFile mirrors the parts of BENCH_solve.json benchcompare
+// needs: the rounds trajectory, latest round last; its "after" block
+// is the comparison baseline.
+type baselineFile struct {
+	Benchmark string `json:"benchmark"`
+	Rounds    []struct {
+		Name  string                 `json:"name"`
+		After map[string]benchResult `json:"after"`
+	} `json:"rounds"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkSolve/sram-cache-45-8   4122   302237 ns/op   239792 B/op   707 allocs/op
+//
+// The name is captured whole; any trailing -GOMAXPROCS suffix is
+// resolved at baseline lookup, since spec names end in digit groups
+// themselves (-45, -32).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// parseBench collects the per-spec samples from bench output. Names
+// are keyed two ways — with and without the trailing -GOMAXPROCS
+// suffix — because spec names themselves end in digit groups (-45);
+// the baseline lookup resolves the ambiguity.
+func parseBench(r io.Reader, benchmark string) (map[string][]benchResult, error) {
+	out := make(map[string][]benchResult)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		prefix := benchmark + "/"
+		if len(name) <= len(prefix) || name[:len(prefix)] != prefix {
+			continue
+		}
+		var res benchResult
+		res.NsOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			res.BytesOp, _ = strconv.ParseFloat(m[3], 64)
+		}
+		if m[4] != "" {
+			res.AllocsOp, _ = strconv.ParseFloat(m[4], 64)
+		}
+		out[name[len(prefix):]] = append(out[name[len(prefix):]], res)
+	}
+	return out, sc.Err()
+}
+
+// comparison is one spec's baseline-vs-current delta.
+type comparison struct {
+	Spec     string  `json:"spec"`
+	Baseline float64 `json:"baseline_ns_op"`
+	Current  float64 `json:"current_ns_op"`
+	Ratio    float64 `json:"ratio"` // current / baseline; < 1 is faster
+	Samples  int     `json:"samples"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_solve.json", "baseline file (rounds schema; latest round's \"after\" is compared)")
+	benchmark := flag.String("benchmark", "BenchmarkSolve", "benchmark name to extract")
+	asJSON := flag.Bool("json", false, "also print the comparison as JSON")
+	maxRegress := flag.Float64("max-regress", 0, "exit 1 when any spec regresses beyond this ratio (0 = report only)")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	var base baselineFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: parse %s: %v\n", *baselinePath, err)
+		os.Exit(2)
+	}
+	if len(base.Rounds) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s has no rounds\n", *baselinePath)
+		os.Exit(2)
+	}
+	baseline := base.Rounds[len(base.Rounds)-1].After
+
+	samples, err := parseBench(os.Stdin, *benchmark)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(2)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: no %s results on stdin\n", *benchmark)
+		os.Exit(2)
+	}
+
+	var comps []comparison
+	regressed := false
+	for spec, runs := range samples {
+		ns := make([]float64, len(runs))
+		for i, r := range runs {
+			ns[i] = r.NsOp
+		}
+		c := comparison{Spec: spec, Current: median(ns), Samples: len(runs)}
+		ref, ok := baseline[spec]
+		if !ok {
+			// Retry without the -GOMAXPROCS suffix the parser could
+			// not strip unambiguously.
+			if i := len(spec) - 1; i > 0 {
+				for i > 0 && spec[i] >= '0' && spec[i] <= '9' {
+					i--
+				}
+				if i > 0 && spec[i] == '-' {
+					ref, ok = baseline[spec[:i]]
+					c.Spec = spec[:i]
+				}
+			}
+		}
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcompare: %s not in baseline, skipped\n", spec)
+			continue
+		}
+		c.Baseline = ref.NsOp
+		c.Ratio = c.Current / c.Baseline
+		if *maxRegress > 0 && c.Ratio > *maxRegress {
+			regressed = true
+		}
+		comps = append(comps, c)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i].Spec < comps[j].Spec })
+
+	fmt.Printf("%-22s %14s %14s %8s  %s\n", "spec", "baseline ns/op", "current ns/op", "ratio", "delta")
+	for _, c := range comps {
+		fmt.Printf("%-22s %14.0f %14.0f %8.3f  %+.1f%%\n",
+			c.Spec, c.Baseline, c.Current, c.Ratio, (c.Ratio-1)*100)
+	}
+	if *asJSON {
+		out, _ := json.MarshalIndent(comps, "", "  ")
+		fmt.Println(string(out))
+	}
+	if regressed {
+		fmt.Fprintf(os.Stderr, "benchcompare: regression beyond %.2fx detected\n", *maxRegress)
+		os.Exit(1)
+	}
+}

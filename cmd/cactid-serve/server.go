@@ -30,6 +30,7 @@ type config struct {
 	maxPoints   int           // largest accepted sweep grid
 	cacheBound  int           // result-cache entry bound (-1 = unbounded, 0 = default)
 	workers     int           // solver pool size (0 = GOMAXPROCS)
+	noBound     bool          // disable branch-and-bound pruning (A/B escape hatch)
 	pprof       bool          // expose net/http/pprof under /debug/pprof/
 	storeDir    string        // durable result-store directory ("" = in-memory only)
 
@@ -184,8 +185,8 @@ func newServer(cfg config) (*server, error) {
 		tier1 = store.NewSolutions(st)
 	}
 	s := &server{
-		eng: explore.New(explore.Options{Workers: cfg.workers, Solver: cfg.solver,
-			CacheEntries: cfg.cacheBound, Chaos: cfg.chaos, Tier1: tier1}),
+		eng: explore.New(explore.Options{Workers: cfg.workers, NoBound: cfg.noBound,
+			Solver: cfg.solver, CacheEntries: cfg.cacheBound, Chaos: cfg.chaos, Tier1: tier1}),
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.maxInFlight),
 		mux:     http.NewServeMux(),
@@ -730,11 +731,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		"sweep_jobs": s.jobs.stats(),
 		"solver": map[string]any{
-			"orgs_considered": st.OrgsConsidered,
-			"orgs_pruned":     st.OrgsPruned,
-			"orgs_built":      st.OrgsBuilt,
-			"prune_ratio":     st.PruneRatio(),
-			"panics":          st.Panics + s.metrics.panics.Load(),
+			"orgs_considered":   st.OrgsConsidered,
+			"orgs_pruned":       st.OrgsPruned,
+			"orgs_pruned_bound": st.OrgsPrunedBound,
+			"orgs_built":        st.OrgsBuilt,
+			"prune_ratio":       st.PruneRatio(),
+			"panics":            st.Panics + s.metrics.panics.Load(),
 		},
 		"runtime": map[string]any{
 			"goroutines":      runtime.NumGoroutine(),

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -166,6 +167,14 @@ type Counters struct {
 	PrunedWaste  int64 `json:"pruned_overprovision"` // >2x capacity overprovision
 	PrunedMargin int64 `json:"pruned_signal_margin"` // DRAM bitline signal below sense minimum
 
+	// Branch-and-bound buckets (EnumerateBounded only; zero on the
+	// plain path). Shard-level prunes discard the whole mux loop of a
+	// (rows, cols) pair from its mux-independent area lower bound;
+	// point-level prunes discard a single mux choice from its refined
+	// area or access-time bound.
+	PrunedBoundShard int64 `json:"pruned_bound_shard"`
+	PrunedBoundPoint int64 `json:"pruned_bound_point"`
+
 	Built       int64 `json:"built"`        // fully circuit-modeled organizations
 	BuildErrors int64 `json:"build_errors"` // rejections the precheck did not anticipate
 }
@@ -173,10 +182,14 @@ type Counters struct {
 // PrunedTotal returns the number of organizations rejected before the
 // expensive circuit/mat modeling.
 func (c Counters) PrunedTotal() int64 {
-	return c.PrunedMux + c.PrunedGeom + c.PrunedPage + c.PrunedOutput + c.PrunedWaste + c.PrunedMargin
+	return c.PrunedMux + c.PrunedGeom + c.PrunedPage + c.PrunedOutput + c.PrunedWaste + c.PrunedMargin +
+		c.PrunedBoundShard + c.PrunedBoundPoint
 }
 
-func (c *Counters) merge(o Counters) {
+// Add accumulates another enumeration's counters: core combines the
+// data- and tag-array scans with it, and EnumerateContext merges the
+// per-shard counters through the same single code path.
+func (c *Counters) Add(o Counters) {
 	c.Considered += o.Considered
 	c.PrunedMux += o.PrunedMux
 	c.PrunedGeom += o.PrunedGeom
@@ -184,13 +197,11 @@ func (c *Counters) merge(o Counters) {
 	c.PrunedOutput += o.PrunedOutput
 	c.PrunedWaste += o.PrunedWaste
 	c.PrunedMargin += o.PrunedMargin
+	c.PrunedBoundShard += o.PrunedBoundShard
+	c.PrunedBoundPoint += o.PrunedBoundPoint
 	c.Built += o.Built
 	c.BuildErrors += o.BuildErrors
 }
-
-// Add accumulates another enumeration's counters (used by core to
-// combine the data- and tag-array scans).
-func (c *Counters) Add(o Counters) { c.merge(o) }
 
 // Enumerate evaluates every valid organization for spec, returning
 // them in deterministic grid order (rows-major, then cols, then mux).
@@ -211,6 +222,13 @@ func EnumerateContext(ctx context.Context, spec Spec, workers int) ([]*Bank, Cou
 	if err != nil {
 		return nil, Counters{}, err
 	}
+	return enumerateWith(ctx, bc, workers, NoLimits())
+}
+
+// enumerateWith is the shared engine behind EnumerateContext
+// (NoLimits) and Prescanned.Enumerate (caller-derived pruning
+// thresholds).
+func enumerateWith(ctx context.Context, bc *buildCtx, workers int, lim Limits) ([]*Bank, Counters, error) {
 	type shard struct{ rows, cols int }
 	shards := make([]shard, 0, len(enumRows)*len(enumCols))
 	for _, rows := range enumRows {
@@ -231,7 +249,7 @@ func EnumerateContext(ctx context.Context, spec Spec, workers int) ([]*Bank, Cou
 			if ctx.Err() != nil {
 				break
 			}
-			results[i] = enumerateShard(bc, sh.rows, sh.cols)
+			results[i] = enumerateShard(bc, sh.rows, sh.cols, lim)
 		}
 	} else {
 		var next atomic.Int64
@@ -245,7 +263,7 @@ func EnumerateContext(ctx context.Context, spec Spec, workers int) ([]*Bank, Cou
 					if i >= len(shards) || ctx.Err() != nil {
 						return
 					}
-					results[i] = enumerateShard(bc, shards[i].rows, shards[i].cols)
+					results[i] = enumerateShard(bc, shards[i].rows, shards[i].cols, lim)
 				}
 			}()
 		}
@@ -256,7 +274,7 @@ func EnumerateContext(ctx context.Context, spec Spec, workers int) ([]*Bank, Cou
 	total := 0
 	for i := range results {
 		total += len(results[i].banks)
-		c.merge(results[i].counters)
+		c.Add(results[i].counters)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, c, err
@@ -278,45 +296,144 @@ type shardResult struct {
 }
 
 // enumerateShard scans the column-mux inner loop for one (rows, cols)
-// pair, building the mux-independent mat model at most once.
-func enumerateShard(bc *buildCtx, rows, cols int) shardResult {
+// pair in two passes. Pass 1 classifies every mux point with integer
+// arithmetic only (no circuit modeling) and collects the survivors;
+// pass 2 builds the mux-independent mat model once and evaluates the
+// survivors into slab-allocated []mat.Mat / []Bank blocks sized
+// exactly from the post-precheck survivor count, so the shard does one
+// allocation per slab instead of one per point. The emitted banks stay
+// in ascending mux order, preserving the serial-scan byte identity.
+func enumerateShard(bc *buildCtx, rows, cols int, lim Limits) shardResult {
 	var r shardResult
-	var sh *mat.Shared
-	var shErr error
-	sharedDone := false
-	for _, mux := range enumMux {
-		r.counters.Considered++
-		if mux > cols {
-			r.counters.PrunedMux++
-			continue
-		}
-		o := OrgFor(bc.spec, rows, cols, mux)
-		if reason := bc.precheck(o); reason != prOK {
-			r.counters.bump(reason)
-			continue
-		}
-		if !sharedDone {
-			sharedDone = true
-			sh, shErr = mat.NewShared(mat.Config{
-				Tech: bc.spec.Tech, RAM: bc.spec.RAM,
-				Rows: rows, Cols: cols, Ports: bc.spec.Ports,
-			})
-		}
-		if shErr != nil {
-			if errors.Is(shErr, mat.ErrSignalMargin) {
-				r.counters.PrunedMargin++
-			} else {
-				r.counters.BuildErrors++
+
+	// Pass 1: integer prechecks over the mux loop — or the prescan's
+	// stored classification when one exists (the survivor list is
+	// copied to scratch space because the point-level bound filter
+	// below compacts it in place).
+	var survBuf [16]Org
+	surv := survBuf[:0]
+	if bc.scan != nil {
+		sc := &bc.scan[(bits.TrailingZeros(uint(rows))-5)*len(enumCols)+bits.TrailingZeros(uint(cols))-5]
+		r.counters = sc.counters
+		surv = append(surv, sc.surv...)
+	} else {
+		for _, mux := range enumMux {
+			r.counters.Considered++
+			if mux > cols {
+				r.counters.PrunedMux++
+				continue
 			}
-			continue
+			o := OrgFor(bc.spec, rows, cols, mux)
+			if reason := bc.precheck(o); reason != prOK {
+				r.counters.bump(reason)
+				continue
+			}
+			surv = append(surv, o)
 		}
-		m, err := sh.Build(mux)
-		if err != nil {
+	}
+	if len(surv) == 0 {
+		return r
+	}
+
+	// DRAM signal-margin fast path: the closed-form check mirrors
+	// NewShared's ErrSignalMargin test bit for bit, so the shard can be
+	// charged to the same counter bucket without paying for the model.
+	if !bc.marginOK(rows) {
+		r.counters.PrunedMargin += int64(len(surv))
+		return r
+	}
+
+	// Shard-level bounds, two tiers: when the cheap geometric lower
+	// bounds — or, failing those, the tightened closed-form bounds —
+	// already violate the limits, every precheck survivor is provably
+	// outside the staged filter's reach; discard the whole shard
+	// before mat.NewShared runs.
+	if lim.active() {
+		pruned := false
+		if areaLB, accLB := bc.shardBounds(rows, cols); lim.prune(areaLB, accLB) {
+			pruned = true
+		} else if areaLB, accLB := bc.shardBoundsTight(rows, cols); lim.prune(areaLB, accLB) {
+			pruned = true
+		}
+		if pruned {
+			r.counters.PrunedBoundShard += int64(len(surv))
+			return r
+		}
+
+		// Lite point tier: per-point bounds from the memoized shard
+		// lower bound alone — the point's own floorplan fold gives an
+		// H-tree length floor without any circuit modeling. When it
+		// clears the whole shard, mat.NewShared is never paid for.
+		lb := bc.shardLBFor(rows, cols)
+		kept := surv[:0]
+		for _, o := range surv {
+			if areaLB, accLB := bc.pointBoundsLite(lb, o); lim.prune(areaLB, accLB) {
+				r.counters.PrunedBoundPoint++
+				continue
+			}
+			kept = append(kept, o)
+		}
+		surv = kept
+		if len(surv) == 0 {
+			return r
+		}
+	}
+
+	// Pass 2: batch-build the survivors against one shared mat model.
+	sh, shErr := bc.sharedFor(rows, cols)
+	if shErr != nil {
+		// The serial scan charges the shared-model failure to every
+		// surviving mux point in turn; keep that accounting.
+		if errors.Is(shErr, mat.ErrSignalMargin) {
+			r.counters.PrunedMargin += int64(len(surv))
+		} else {
+			r.counters.BuildErrors += int64(len(surv))
+		}
+		return r
+	}
+
+	// Point-level bounds: with the memoized mux parts in hand the
+	// mat's access time and footprint are known exactly; discard
+	// points before sizing the output slabs so the slabs hold only
+	// what will actually be built.
+	if lim.active() {
+		kept := surv[:0]
+		for _, o := range surv {
+			parts := bc.muxPartsFor(sh, cols, o.Mux)
+			if areaLB, accLB := bc.pointBounds(sh, parts, o); lim.prune(areaLB, accLB) {
+				r.counters.PrunedBoundPoint++
+				continue
+			}
+			// Final tier: the exact bank metrics (finishInto's own
+			// floats, H-tree solved for real). Anything the AM-GM tier
+			// above lets through but the limits exclude is caught here,
+			// so only true filter candidates reach BuildInto.
+			if area, acc := bc.pointExact(sh, parts, o); lim.prune(area, acc) {
+				r.counters.PrunedBoundPoint++
+				continue
+			}
+			kept = append(kept, o)
+		}
+		surv = kept
+		if len(surv) == 0 {
+			return r
+		}
+	}
+
+	mats := make([]mat.Mat, len(surv))
+	banks := make([]Bank, len(surv))
+	r.banks = make([]*Bank, 0, len(surv))
+	n := 0
+	for _, o := range surv {
+		parts := bc.muxPartsFor(sh, cols, o.Mux)
+		if err := sh.BuildInto(o.Mux, parts, &mats[n]); err != nil {
 			r.counters.BuildErrors++
 			continue
 		}
 		r.counters.Built++
-		r.banks = append(r.banks, bc.finish(o, m))
+		bc.finishInto(o, &mats[n], &banks[n])
+		r.banks = append(r.banks, &banks[n])
+		n++
 	}
 	return r
 }
@@ -381,7 +498,8 @@ func (c *Counters) bump(r pruneReason) {
 
 // buildCtx caches every organization-independent quantity of Build:
 // resolved technology pointers, address/data widths, and the bank-edge
-// output driver. It is immutable after newBuildCtx and shared across
+// output driver. Apart from the muxParts memo — a monotonic cache of
+// pure values — it is immutable after newBuildCtx and shared across
 // enumeration workers.
 type buildCtx struct {
 	spec Spec
@@ -393,6 +511,93 @@ type buildCtx struct {
 	addrBits    int
 	dataBits    int
 	outDrv      circuit.Result
+
+	// bnd holds the spec-level constants of the branch-and-bound
+	// lower bounds (see bound.go).
+	bnd bounder
+
+	// marginFail memoizes mat.SignalMarginOK per enumRows slot so the
+	// enumeration can charge DRAM margin failures without running
+	// NewShared; nil for cell types the check never fails for.
+	marginFail []bool
+
+	// muxParts memoizes mat.Shared.MuxParts across (rows, cols)
+	// shards: the sense-amp strip and column-select decoder depend
+	// only on (tech, RAM, ports, cols, mux) — not rows — so one entry
+	// per (cols, mux) grid slot serves all nine rows-shards of that
+	// column width. Slots are published with atomic pointers; racing
+	// workers compute identical values (MuxParts is a pure function of
+	// the spec and the slot key), so last-write-wins is benign.
+	muxParts []atomic.Pointer[mat.MuxParts]
+
+	// shardLB memoizes the tightened closed-form shard bounds
+	// (mat.NewShardLB) per (rows, cols) slot; the prescan warms it for
+	// the enumeration. Same benign-race publication as muxParts.
+	shardLB []atomic.Pointer[mat.ShardLB]
+
+	// shared memoizes the mux-independent mat model (or its error) per
+	// (rows, cols) slot, so probe builds and the enumeration evaluate
+	// each shard's NewShared once. Same benign-race publication.
+	shared []atomic.Pointer[sharedEntry]
+
+	// exactPt memoizes pointExact per (rows, cols, mux) slot: the
+	// solver's exact-minimum walks and the enumeration's final pruning
+	// tier visit overlapping points, and the H-tree repeated-wire
+	// solution inside is the only per-point cost worth skipping. Same
+	// benign-race publication.
+	exactPt []atomic.Pointer[pointMetrics]
+
+	// scan, when non-nil, holds the full precheck classification of
+	// the grid (one entry per (rows, cols) slot, filled serially by
+	// Prescan); the enumeration reads it instead of rescanning the mux
+	// loop. Read-only once published.
+	scan []shardScan
+}
+
+// shardScan is one (rows, cols) slot of a prescan: the precheck
+// counter buckets of its mux loop and the surviving organizations in
+// ascending mux order.
+type shardScan struct {
+	counters Counters
+	surv     []Org
+}
+
+type sharedEntry struct {
+	sh  *mat.Shared
+	err error
+}
+
+// sharedFor returns the memoized mux-independent mat model for a
+// (rows, cols) grid slot, computing and publishing it on first use.
+func (bc *buildCtx) sharedFor(rows, cols int) (*mat.Shared, error) {
+	ri := bits.TrailingZeros(uint(rows)) - 5
+	ci := bits.TrailingZeros(uint(cols)) - 5
+	slot := &bc.shared[ri*len(enumCols)+ci]
+	if e := slot.Load(); e != nil {
+		return e.sh, e.err
+	}
+	sh, err := mat.NewShared(mat.Config{
+		Tech: bc.spec.Tech, RAM: bc.spec.RAM,
+		Rows: rows, Cols: cols, Ports: bc.spec.Ports,
+	})
+	slot.Store(&sharedEntry{sh: sh, err: err})
+	return sh, err
+}
+
+// muxPartsFor returns the memoized mux-dependent circuit results for a
+// (cols, mux) grid slot, computing and publishing them on first use.
+func (bc *buildCtx) muxPartsFor(sh *mat.Shared, cols, mux int) *mat.MuxParts {
+	// enumCols starts at 32 = 2^5 and enumMux at 1 = 2^0; both are
+	// powers of two, so the slot index is positional in the grid.
+	ci := bits.TrailingZeros(uint(cols)) - 5
+	mi := bits.TrailingZeros(uint(mux))
+	slot := &bc.muxParts[ci*len(enumMux)+mi]
+	if p := slot.Load(); p != nil {
+		return p
+	}
+	p := sh.MuxParts(mux)
+	slot.Store(&p)
+	return &p
 }
 
 func newBuildCtx(spec Spec) (*buildCtx, error) {
@@ -419,7 +624,32 @@ func newBuildCtx(spec Spec) (*buildCtx, error) {
 	}
 	// Output drivers at the bank edge.
 	bc.outDrv = circuit.TristateDriver(per, 60e-15)
+	bc.muxParts = make([]atomic.Pointer[mat.MuxParts], len(enumCols)*len(enumMux))
+	bc.shardLB = make([]atomic.Pointer[mat.ShardLB], len(enumRows)*len(enumCols))
+	bc.shared = make([]atomic.Pointer[sharedEntry], len(enumRows)*len(enumCols))
+	bc.exactPt = make([]atomic.Pointer[pointMetrics], len(enumRows)*len(enumCols)*len(enumMux))
+	bc.bnd = newBounder(bc)
+	if spec.RAM.IsDRAM() && spec.Ports <= 1 {
+		bc.marginFail = make([]bool, len(enumRows))
+		for i, rows := range enumRows {
+			bc.marginFail[i] = !mat.SignalMarginOK(t, spec.RAM, spec.Ports, rows)
+		}
+	}
 	return bc, nil
+}
+
+// marginOK reports (from the memo) whether a row count passes the DRAM
+// signal-margin test; rows outside the enumeration grid fall through
+// to NewShared's own check.
+func (bc *buildCtx) marginOK(rows int) bool {
+	if bc.marginFail == nil {
+		return true
+	}
+	i := bits.TrailingZeros(uint(rows)) - 5
+	if i < 0 || i >= len(bc.marginFail) {
+		return true
+	}
+	return !bc.marginFail[i]
 }
 
 // precheck runs the cheap integer feasibility tests of Build, in the
@@ -486,10 +716,19 @@ func Build(spec Spec, o Org) (*Bank, error) {
 // finish assembles the bank model around an evaluated mat: floorplan,
 // H-tree networks, timing, energy, leakage, refresh and area.
 func (bc *buildCtx) finish(o Org, m *mat.Mat) *Bank {
+	b := new(Bank)
+	bc.finishInto(o, m, b)
+	return b
+}
+
+// finishInto is finish writing into a caller-owned Bank (the batch
+// path evaluates a whole shard into one slab instead of allocating per
+// point). The arithmetic is identical to the historical finish.
+func (bc *buildCtx) finishInto(o Org, m *mat.Mat, b *Bank) {
 	spec := bc.spec
 	cell := bc.cell
 
-	b := &Bank{Spec: spec, Org: o, Mat: m}
+	*b = Bank{Spec: spec, Org: o, Mat: m}
 
 	// ---- Floorplan ----
 	// Fold the mat grid to near-square. Subbank rows are horizontal;
@@ -588,5 +827,4 @@ func (bc *buildCtx) finish(o Org, m *mat.Mat) *Bank {
 	b.Width = matsW * math.Sqrt(scale)
 	b.Height = matsH * math.Sqrt(scale)
 	b.AreaEff = float64(o.Mats) * m.CellArea / b.Area
-	return b
 }

@@ -1,0 +1,465 @@
+// Branch-and-bound enumeration: admissible lower bounds on a bank's
+// area and access time let whole (rows, cols) shards — and individual
+// mux points — be discarded before the expensive mat modeling.
+//
+// The bounds come at two fidelities. Before mat.NewShared runs, a
+// shard-level bound uses only closed-form geometry (mat.GeomLB,
+// mat.AccessLB) plus the provable per-meter H-tree delay floor
+// (circuit.RepeatedWireDelayLB). Once a shard survives and its Shared
+// exists, a point-level bound reuses the exact mux-dependent circuit
+// results (the memoized mat.MuxParts) to reproduce the mat's access
+// time and footprint exactly, leaving only the H-tree terms bounded.
+//
+// Both bounds are admissible — bound(point) <= fully-modeled metric —
+// because every dropped term is nonnegative and the H-tree length
+// satisfies (matsW+matsH)/2 >= sqrt(matsW*matsH) = sqrt(Mats*matArea)
+// (AM-GM; the floorplan fold preserves the grid-cell product). The
+// derivation and the byte-identity argument for the thresholds the
+// solver feeds in live in DESIGN.md §1.2e; admissibility is pinned by
+// property tests here and in internal/core.
+package array
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"sort"
+
+	"cactid/internal/circuit"
+	"cactid/internal/mat"
+)
+
+// Limits are the pruning thresholds of one bounded enumeration, in
+// data-bank units (area m^2, access time s). The zero-value semantics
+// are intentionally unforgiving — use NoLimits for "no pruning".
+type Limits struct {
+	// MaxAreaLB discards a point when its area lower bound exceeds it.
+	MaxAreaLB float64
+	// MaxAccLB discards a point when its access-time lower bound
+	// exceeds it — but only if the point's area lower bound exceeds
+	// AreaGuard, so the bank-area argmin (which anchors the staged
+	// filter's stage-1 minimum) provably survives.
+	MaxAccLB  float64
+	AreaGuard float64
+}
+
+// NoLimits disables all bound pruning (EnumerateContext semantics).
+func NoLimits() Limits {
+	inf := math.Inf(1)
+	return Limits{MaxAreaLB: inf, MaxAccLB: inf, AreaGuard: inf}
+}
+
+func (l Limits) active() bool {
+	return !math.IsInf(l.MaxAreaLB, 1) || !math.IsInf(l.MaxAccLB, 1)
+}
+
+// prune reports whether a point with the given lower bounds can be
+// discarded without changing the staged filter's output.
+func (l Limits) prune(areaLB, accLB float64) bool {
+	return areaLB > l.MaxAreaLB || (accLB > l.MaxAccLB && areaLB > l.AreaGuard)
+}
+
+// bounder holds the spec-level constants of the lower bounds, computed
+// once per enumeration in newBuildCtx.
+type bounder struct {
+	cellW, cellH float64 // per-cell dimensions (ports-adjusted)
+	// Provable H-tree delay floor: delay(L) >= max(htreeFixed +
+	// htreeLin*L, htreePerLen*L). The affine branch dominates short
+	// wires (repeater self-delay), the rate branch long ones (AM-GM).
+	htreeFixed  float64
+	htreeLin    float64
+	htreePerLen float64
+	wirePerLen  float64 // H-tree wire area per meter (addr+data tracks)
+	fixedAcc    float64 // latches + output driver (exact, org-independent)
+}
+
+func newBounder(bc *buildCtx) bounder {
+	cw, ch := mat.CellDims(bc.spec.Tech, bc.spec.RAM, bc.spec.Ports)
+	fixed, lin, rate := circuit.RepeatedWireDelayLBParts(bc.per, bc.wire, bc.spec.RepeaterSlack)
+	return bounder{
+		cellW:       cw,
+		cellH:       ch,
+		htreeFixed:  fixed,
+		htreeLin:    lin,
+		htreePerLen: rate,
+		wirePerLen:  float64(bc.addrBits+bc.dataBits) * bc.wire.Pitch,
+		fixedAcc:    2*30e-12 + bc.outDrv.Delay,
+	}
+}
+
+// htreeDelayLB returns the provable floor on one H-tree traversal of
+// the given length; monotone in the length, so it may be applied to
+// any lower bound of the real length.
+func (bd *bounder) htreeDelayLB(length float64) float64 {
+	return math.Max(bd.htreeFixed+bd.htreeLin*length, bd.htreePerLen*length)
+}
+
+// matsFor returns the (mux-independent) mat count of a (rows, cols)
+// shard.
+func matsFor(spec Spec, rows, cols int) int {
+	bitsPerMat := int64(4 * rows * cols)
+	return int((spec.CapacityBytes*8 + bitsPerMat - 1) / bitsPerMat)
+}
+
+// bankBounds assembles bank-level lower bounds from a mat-area lower
+// bound and a mat-access lower bound: Mats mats plus the H-tree wire
+// area, and the fixed path plus two H-tree traversals of at least the
+// AM-GM length floor.
+func (bd *bounder) bankBounds(mats int, matAreaLB, matAccLB float64) (areaLB, accLB float64) {
+	matsArea := float64(mats) * matAreaLB
+	htreeLen := math.Sqrt(matsArea)
+	areaLB = matsArea + bd.wirePerLen*htreeLen
+	accLB = bd.fixedAcc + 2*bd.htreeDelayLB(htreeLen) + matAccLB
+	return areaLB, accLB
+}
+
+// shardBounds computes the cheap pre-NewShared lower bounds of a
+// (rows, cols) shard: pure cell geometry for area, and wordline RC +
+// bitline development + sense for access time. It is the first
+// bounding tier — nearly free, loose.
+func (bc *buildCtx) shardBounds(rows, cols int) (areaLB, accLB float64) {
+	bd := &bc.bnd
+	matW := 2 * float64(cols) * bd.cellW
+	matH := 2 * float64(rows) * bd.cellH
+	matAccLB := mat.AccessLB(bc.spec.Tech, bc.spec.RAM, bc.spec.Ports, rows, cols)
+	return bd.bankBounds(matsFor(bc.spec, rows, cols), matW*matH, matAccLB)
+}
+
+// shardBoundsTight computes the tightened shard-level lower bounds
+// (mat.NewShardLB): exact wordline chain, decoder-wire Elmore term,
+// wordline-driver strip width and minimum sense-strip height. It
+// costs roughly a quarter of NewShared, so the result is memoized per
+// (rows, cols) slot — the prescan warms the memo and the enumeration
+// reuses it — and the enumeration consults it only after the cheap
+// tier fails to discard a shard.
+func (bc *buildCtx) shardBoundsTight(rows, cols int) (areaLB, accLB float64) {
+	lb := bc.shardLBFor(rows, cols)
+	return bc.bnd.bankBounds(matsFor(bc.spec, rows, cols), lb.MatW*lb.MatH, lb.Access)
+}
+
+// shardLBFor returns the memoized tightened shard lower bound of a
+// (rows, cols) pair, computing it on first use.
+func (bc *buildCtx) shardLBFor(rows, cols int) *mat.ShardLB {
+	ri := bits.TrailingZeros(uint(rows)) - 5
+	ci := bits.TrailingZeros(uint(cols)) - 5
+	slot := &bc.shardLB[ri*len(enumCols)+ci]
+	lb := slot.Load()
+	if lb == nil {
+		v := mat.NewShardLB(bc.spec.Tech, bc.spec.RAM, bc.spec.Ports, rows, cols)
+		slot.Store(&v)
+		lb = &v
+	}
+	return lb
+}
+
+// pointBoundsLite computes per-point lower bounds before mat.NewShared
+// exists, from the memoized shard lower bound alone: the point's own
+// floorplan fold (identical to finishInto's) applied to the bounded mat
+// dimensions yields an H-tree length floor that keeps the perimeter
+// term — much tighter than the shard tiers' AM-GM-only floor whenever
+// the fold is lopsided. Admissible by monotonicity: the real mat is at
+// least lb.MatW by lb.MatH, rounding-to-nearest is monotone, and
+// htreeDelayLB is a floor of the real repeated-wire delay.
+func (bc *buildCtx) pointBoundsLite(lb *mat.ShardLB, o Org) (areaLB, accLB float64) {
+	gridX := o.MatsPerSubbank
+	gridY := o.Subbanks
+	for gridX >= 2*gridY && gridX%2 == 0 {
+		gridX /= 2
+		gridY *= 2
+	}
+	for gridY >= 2*gridX && gridY%2 == 0 {
+		gridY /= 2
+		gridX *= 2
+	}
+	matsArea := float64(o.Mats) * (lb.MatW * lb.MatH)
+	lenLB := (float64(gridX)*lb.MatW + float64(gridY)*lb.MatH) / 2
+	if s := math.Sqrt(matsArea); s > lenLB {
+		lenLB = s
+	}
+	bd := &bc.bnd
+	areaLB = matsArea + bd.wirePerLen*lenLB
+	accLB = bd.fixedAcc + 2*bd.htreeDelayLB(lenLB) + lb.Access
+	return areaLB, accLB
+}
+
+// pointBounds computes the post-NewShared lower bounds of one mux
+// point: the mat's access time and footprint are exact (via the
+// memoized MuxParts); only the H-tree terms remain bounded.
+func (bc *buildCtx) pointBounds(sh *mat.Shared, parts *mat.MuxParts, o Org) (areaLB, accLB float64) {
+	return bc.bnd.bankBounds(o.Mats, sh.MatAreaOf(parts), sh.MatAccessOf(parts, o.Mux))
+}
+
+// pointExact computes the exact bank area and access time of one mux
+// point — the same floats, from the same operations, as finishInto —
+// without assembling the Bank: exact mat dims fold into the exact
+// floorplan grid, and the H-tree repeated wire is solved for real
+// instead of bounded. It is the final (still admissible: the "bound"
+// equals the value) pruning tier; only points that pass it pay for
+// BuildInto and finishInto. The AM-GM tier in pointBounds never
+// exceeds it, so running it second filters the same final set while
+// skipping the repeated-wire solution for far-out points.
+func (bc *buildCtx) pointExact(sh *mat.Shared, parts *mat.MuxParts, o Org) (area, acc float64) {
+	ri := bits.TrailingZeros(uint(o.Rows)) - 5
+	ci := bits.TrailingZeros(uint(o.Cols)) - 5
+	mi := bits.TrailingZeros(uint(o.Mux))
+	slot := &bc.exactPt[(ri*len(enumCols)+ci)*len(enumMux)+mi]
+	if pm := slot.Load(); pm != nil {
+		return pm.area, pm.acc
+	}
+	mw, mh := sh.MatDimsOf(parts)
+
+	// Floorplan fold — identical to finishInto.
+	gridX := o.MatsPerSubbank
+	gridY := o.Subbanks
+	for gridX >= 2*gridY && gridX%2 == 0 {
+		gridX /= 2
+		gridY *= 2
+	}
+	for gridY >= 2*gridX && gridY%2 == 0 {
+		gridY /= 2
+		gridX *= 2
+	}
+	matsW := float64(gridX) * mw
+	matsH := float64(gridY) * mh
+
+	htreeLen := (matsW + matsH) / 2
+	htreeWire := circuit.NewRepeatedWire(bc.per, bc.wire, htreeLen, bc.spec.RepeaterSlack)
+	d := htreeWire.Res.Delay
+
+	const latchDelay = 30e-12
+	acc = latchDelay + d + sh.MatAccessOf(parts, o.Mux) + d + bc.outDrv.Delay + latchDelay
+
+	matsArea := float64(o.Mats) * sh.MatAreaOf(parts)
+	wireArea := float64(bc.addrBits+bc.dataBits) * bc.wire.Pitch * htreeLen
+	repArea := float64(bc.addrBits)*htreeWire.Res.Area + float64(bc.dataBits)*htreeWire.Res.Area
+	area = matsArea + wireArea + repArea
+	slot.Store(&pointMetrics{area: area, acc: acc})
+	return area, acc
+}
+
+// pointMetrics is one memoized pointExact result.
+type pointMetrics struct{ area, acc float64 }
+
+// PrescanPoint summarizes one feasible (rows, cols) shard of the
+// enumeration grid: its first precheck-passing mux point and the
+// shard-level lower bounds shared by every mux point in it.
+type PrescanPoint struct {
+	Org    Org
+	AreaLB float64 // data-bank area lower bound (m^2)
+	AccLB  float64 // data-bank access-time lower bound (s)
+}
+
+// Prescanned is the result of Prescan: the feasibility/bounds summary
+// of one spec's enumeration grid plus the (reusable) build context
+// behind it, so probe builds and the bounded enumeration share the
+// memoized shard bounds, mux parts and mat models instead of
+// recomputing them per call.
+type Prescanned struct {
+	bc *buildCtx
+	// Points holds one entry per (rows, cols) pair with at least one
+	// feasible mux point, in grid order.
+	Points []PrescanPoint
+}
+
+// Prescan classifies the enumeration grid with integer prechecks and
+// cheap closed-form bounds only — no circuit modeling — returning one
+// entry per (rows, cols) pair that has at least one feasible mux
+// point, in grid order. The solver uses it to pick deterministic
+// probe points and to floor the feasible set's minimum area when
+// deriving pruning thresholds (see core's bounded explore). The full
+// precheck classification is retained on the build context, so a
+// following Enumerate reuses it instead of rescanning the grid.
+func Prescan(spec Spec) (*Prescanned, error) {
+	bc, err := newBuildCtx(spec)
+	if err != nil {
+		return nil, err
+	}
+	bc.scan = make([]shardScan, len(enumRows)*len(enumCols))
+	slab := make([]Org, len(enumRows)*len(enumCols)*len(enumMux))
+	n := 0
+	var out []PrescanPoint
+	for ri, rows := range enumRows {
+		// Shards that cannot develop the DRAM sense signal have no
+		// feasible point at all; excluding them keeps the prescan's
+		// area floor tight (the floor feeds the solver's probe
+		// provability check). Their precheck classification is still
+		// recorded for the enumeration's counter accounting.
+		marginOK := bc.marginOK(rows)
+		for ci, cols := range enumCols {
+			sc := &bc.scan[ri*len(enumCols)+ci]
+			start := n
+			for _, mux := range enumMux {
+				sc.counters.Considered++
+				if mux > cols {
+					sc.counters.PrunedMux++
+					continue
+				}
+				o := OrgFor(spec, rows, cols, mux)
+				if reason := bc.precheck(o); reason != prOK {
+					sc.counters.bump(reason)
+					continue
+				}
+				slab[n] = o
+				n++
+			}
+			sc.surv = slab[start:n:n]
+			if n == start || !marginOK {
+				continue
+			}
+			areaLB, accLB := bc.shardBounds(rows, cols)
+			out = append(out, PrescanPoint{Org: sc.surv[0], AreaLB: areaLB, AccLB: accLB})
+		}
+	}
+	return &Prescanned{bc: bc, Points: out}, nil
+}
+
+// ShardBounds returns the tightened (memoized) shard-level lower
+// bounds for an organization's (rows, cols) pair, in data-bank units.
+// They dominate the cheap PrescanPoint bounds on every pair — the
+// exact-minimum walks below lean on that ordering to evaluate the
+// expensive tiers lazily.
+func (p *Prescanned) ShardBounds(o Org) (areaLB, accLB float64) {
+	return p.bc.shardBoundsTight(o.Rows, o.Cols)
+}
+
+// shardSurv returns the precheck survivors of a (rows, cols) pair
+// recorded by Prescan.
+func (bc *buildCtx) shardSurv(rows, cols int) []Org {
+	ri := bits.TrailingZeros(uint(rows)) - 5
+	ci := bits.TrailingZeros(uint(cols)) - 5
+	return bc.scan[ri*len(enumCols)+ci].surv
+}
+
+// MinArea returns the exact minimum bank area over every feasible
+// point of the grid — the same float a full enumeration's smallest
+// bank would report. The walk visits shards in ascending cheap
+// area-bound order, skips those whose tightened bound cannot beat the
+// best exact area seen, and stops as soon as the cheap bound alone
+// proves no remaining shard can improve it; every model it does build
+// (mat.Shared, MuxParts) lands in the prescan's memos, where the
+// following Enumerate reuses it. ok is false when no point builds.
+func (p *Prescanned) MinArea() (best float64, ok bool) {
+	bc := p.bc
+	pts := p.Points
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pts[idx[a]].AreaLB < pts[idx[b]].AreaLB })
+	best = math.Inf(1)
+	for _, i := range idx {
+		if pts[i].AreaLB >= best {
+			break
+		}
+		rows, cols := pts[i].Org.Rows, pts[i].Org.Cols
+		if aT, _ := bc.shardBoundsTight(rows, cols); aT >= best {
+			continue
+		}
+		lb := bc.shardLBFor(rows, cols)
+		var sh *mat.Shared
+		for _, o := range bc.shardSurv(rows, cols) {
+			if aL, _ := bc.pointBoundsLite(lb, o); aL >= best {
+				continue
+			}
+			if sh == nil {
+				var err error
+				if sh, err = bc.sharedFor(rows, cols); err != nil {
+					break // contributes no solutions; nothing to minimize
+				}
+			}
+			parts := bc.muxPartsFor(sh, cols, o.Mux)
+			if a, _ := bc.pointExact(sh, parts, o); a < best {
+				best = a
+				ok = true
+			}
+		}
+	}
+	return best, ok
+}
+
+// MinAccessWithin returns the exact minimum bank access time over the
+// feasible points whose assembled solution area — nb*(area+tagArea),
+// the same floats the solver's assemble computes — is at most
+// areaWindow (pass +Inf for an unconstrained minimum). The walk visits
+// shards in ascending cheap access-bound order with the same lazy
+// tiering as MinArea; window exclusion uses the area bounds (area >=
+// bound, and the assembly arithmetic is monotone, so a shard whose
+// bounded solution area exceeds the window holds no members). ok is
+// false when no point is in the window.
+func (p *Prescanned) MinAccessWithin(nb, tagArea, areaWindow float64) (best float64, ok bool) {
+	bc := p.bc
+	pts := p.Points
+	idx := make([]int, len(pts))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pts[idx[a]].AccLB < pts[idx[b]].AccLB })
+	best = math.Inf(1)
+	for _, i := range idx {
+		if pts[i].AccLB >= best {
+			break
+		}
+		rows, cols := pts[i].Org.Rows, pts[i].Org.Cols
+		if nb*(pts[i].AreaLB+tagArea) > areaWindow {
+			continue
+		}
+		aT, accT := bc.shardBoundsTight(rows, cols)
+		if accT >= best || nb*(aT+tagArea) > areaWindow {
+			continue
+		}
+		lb := bc.shardLBFor(rows, cols)
+		var sh *mat.Shared
+		for _, o := range bc.shardSurv(rows, cols) {
+			aL, accL := bc.pointBoundsLite(lb, o)
+			if accL >= best || nb*(aL+tagArea) > areaWindow {
+				continue
+			}
+			if sh == nil {
+				var err error
+				if sh, err = bc.sharedFor(rows, cols); err != nil {
+					break
+				}
+			}
+			parts := bc.muxPartsFor(sh, cols, o.Mux)
+			a, acc := bc.pointExact(sh, parts, o)
+			if nb*(a+tagArea) <= areaWindow && acc < best {
+				best = acc
+				ok = true
+			}
+		}
+	}
+	return best, ok
+}
+
+// Build evaluates one organization against the prescan's shared build
+// context — same result as the package-level Build, but reusing the
+// memoized mat models and mux parts (probe builds hit the same grid
+// slots the enumeration will).
+func (p *Prescanned) Build(o Org) (*Bank, error) {
+	bc := p.bc
+	if reason := bc.precheck(o); reason != prOK {
+		return nil, bc.checkErr(o, reason)
+	}
+	sh, err := bc.sharedFor(o.Rows, o.Cols)
+	if err != nil {
+		return nil, err
+	}
+	m := new(mat.Mat)
+	if err := sh.BuildInto(o.Mux, bc.muxPartsFor(sh, o.Cols, o.Mux), m); err != nil {
+		return nil, err
+	}
+	return bc.finish(o, m), nil
+}
+
+// Enumerate is EnumerateContext with branch-and-bound pruning against
+// lim: grid points whose lower bounds violate the limits are discarded
+// before mat modeling and land in the PrunedBoundShard /
+// PrunedBoundPoint counter buckets. With NoLimits() it matches
+// EnumerateContext output exactly. The output and counters are a
+// deterministic function of (spec, lim) — the worker count never
+// changes them — and for limits derived by the solver's probe scheme
+// the surviving banks are exactly those the staged filter could ever
+// keep (DESIGN.md §1.2e).
+func (p *Prescanned) Enumerate(ctx context.Context, workers int, lim Limits) ([]*Bank, Counters, error) {
+	return enumerateWith(ctx, p.bc, workers, lim)
+}

@@ -266,6 +266,52 @@ func NewRepeatedWire(dev *tech.DeviceParams, w *tech.WireParams, length, delaySl
 	return rw
 }
 
+// RepeatedWireDelayLB returns a provable per-meter lower bound on the
+// delay of any NewRepeatedWire solution built from the same device,
+// wire and slack. The per-segment time constant of a repeated wire of
+// length L split into n segments is tf(L/n) = A + B*lseg + C*lseg^2
+// with A = Rdrv*(Cself+Cnext), B = Rdrv*Cw + Rw*Cnext, C = Rw*Cw/2,
+// so the total delay k*(A*n + B*L + C*L^2/n) is, by AM-GM over the
+// repeater count n >= 1, at least k*L*(B + 2*sqrt(A*C)) — linear in L
+// with a coefficient that depends only on the fixed repeater inverter
+// (width wopt/stretch, independent of L). The bound holds for every
+// integer n, hence for the count NewRepeatedWire actually picks.
+func RepeatedWireDelayLB(dev *tech.DeviceParams, w *tech.WireParams, delaySlack float64) float64 {
+	_, _, rate := RepeatedWireDelayLBParts(dev, w, delaySlack)
+	return rate
+}
+
+// RepeatedWireDelayLBParts returns constants such that the delay of
+// any NewRepeatedWire solution of length L built from the same
+// device, wire and slack satisfies
+//
+//	delay >= max(fixed + lin*L, rate*L)
+//
+// The affine branch keeps the n>=1 repeater self-delay term that the
+// per-meter rate discards — on wires shorter than one optimal segment
+// the fixed driver delay dominates and the rate alone is far too low.
+// Both branches follow from the per-segment time constant tf(L/n) =
+// A + B*lseg + C*lseg^2: the total k*(A*n + B*L + C*L^2/n) is at
+// least k*(A + B*L) for every n >= 1 (drop the nonnegative quadratic
+// term), and at least k*L*(B + 2*sqrt(A*C)) by AM-GM over n. Both
+// hold for the integer count NewRepeatedWire actually picks.
+func RepeatedWireDelayLBParts(dev *tech.DeviceParams, w *tech.WireParams, delaySlack float64) (fixed, lin, rate float64) {
+	cg := dev.CgIdealPerWidth + dev.CFringePerWidth
+	r0 := dev.RnOnPerWidth
+	c0 := 3 * (cg + dev.CJuncPerWidth)
+	wopt := math.Sqrt(r0 * w.CPerLen / (w.RPerLen * c0))
+	stretch := 1 + delaySlack
+	wrep := wopt / stretch
+	inv := Inverter{Dev: dev, Wn: wrep, Wp: 2 * wrep}
+	cnext := inv.InputCap()
+	a := inv.DriveRes() * (inv.SelfCap() + cnext)
+	b := inv.DriveRes()*w.CPerLen + w.RPerLen*cnext
+	c := w.RPerLen * w.CPerLen / 2
+	ln := math.Log(dev.Vth / dev.Vdd)
+	k := math.Sqrt(ln * ln) // Horowitz step-input factor
+	return k * a, k * b, k * (b + 2*math.Sqrt(a*c))
+}
+
 // TristateDriver models the bus drivers used on shared H-tree data
 // buses: an enabled inverter with roughly 2x the parasitics of a
 // plain inverter of the same drive.

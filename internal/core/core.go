@@ -264,6 +264,13 @@ type Options struct {
 	// Stats, when non-nil, receives the enumeration coverage counters
 	// of the solve (data and tag arrays separately).
 	Stats *SolveStats
+
+	// NoBound disables the branch-and-bound enumeration pruning in
+	// Optimize (the A/B escape hatch): every feasible organization is
+	// circuit-modeled, as in ExploreContext. The chosen solution is
+	// byte-identical either way; only the Stats prune buckets and the
+	// runtime differ.
+	NoBound bool
 }
 
 // SolveStats audits one Explore/Optimize call: how many organizations
@@ -287,6 +294,8 @@ func (o *Options) workers() int {
 	}
 	return o.Workers
 }
+
+func (o *Options) noBound() bool { return o != nil && o.NoBound }
 
 // Explore enumerates every feasible solution for spec, without
 // applying the optimization constraints. The returned slice is sorted
@@ -316,31 +325,7 @@ func ExploreContext(ctx context.Context, spec Spec, opts *Options) ([]*Solution,
 		}
 	}
 
-	assocReadout := 1
-	if spec.IsCache && (spec.Mode == Normal || spec.Mode == Fast) {
-		assocReadout = spec.Associativity
-	}
-	dataCapacity := spec.CapacityBytes / int64(spec.Banks)
-	outputBits := spec.BlockBytes * 8
-	if spec.ECC {
-		// SECDED: 8 check bits per 64 data bits.
-		dataCapacity = dataCapacity * 9 / 8
-		outputBits = outputBits * 9 / 8
-	}
-	dataSpec := array.Spec{
-		Tech:              t,
-		RAM:               spec.RAM,
-		CapacityBytes:     dataCapacity,
-		OutputBits:        outputBits,
-		AssocReadout:      assocReadout,
-		RouteAllWays:      spec.Mode == Fast,
-		PageBits:          spec.PageBits,
-		MaxPipelineStages: spec.MaxPipelineStages,
-		RepeaterSlack:     spec.MaxRepeaterSlack,
-		SleepTransistors:  spec.SleepTransistors,
-		Ports:             spec.Ports,
-	}
-	banks, counters, err := array.EnumerateContext(ctx, dataSpec, opts.workers())
+	banks, counters, err := array.EnumerateContext(ctx, dataArraySpec(spec, t), opts.workers())
 	if opts != nil && opts.Stats != nil {
 		opts.Stats.Data = counters
 	}
@@ -375,11 +360,29 @@ func Optimize(spec Spec) (*Solution, error) {
 }
 
 // OptimizeContext is Optimize with cancellation and solver options
-// (opts may be nil). The worker count never changes the result.
+// (opts may be nil). The worker count never changes the result, and
+// neither does the branch-and-bound pruning (see Options.NoBound):
+// the bounded path provably discards only organizations the staged
+// filter could never keep (DESIGN.md §1.2e), falling back to the full
+// enumeration whenever its preconditions do not hold.
 func OptimizeContext(ctx context.Context, spec Spec, opts *Options) (*Solution, error) {
-	sols, err := ExploreContext(ctx, spec, opts)
-	if err != nil {
-		return nil, err
+	var sols []*Solution
+	var err error
+	if !opts.noBound() {
+		var ok bool
+		sols, ok, err = exploreBounded(ctx, spec, opts)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			sols = nil
+		}
+	}
+	if sols == nil {
+		sols, err = ExploreContext(ctx, spec, opts)
+		if err != nil {
+			return nil, err
+		}
 	}
 	filtered := Filter(spec, sols)
 	if len(filtered) == 0 {
@@ -457,15 +460,46 @@ func (b *byObjective) Less(i, j int) bool {
 	return orgLess(b.sols[i].Data.Org, b.sols[j].Data.Org)
 }
 
-// optimizeTag builds and optimizes the tag array for a cache spec.
-func optimizeTag(ctx context.Context, spec Spec, t *tech.Technology, opts *Options) (*array.Bank, error) {
+// dataArraySpec derives the data-array enumeration spec from a
+// normalized solver spec (the single source for both the plain and
+// the branch-and-bound explore paths).
+func dataArraySpec(spec Spec, t *tech.Technology) array.Spec {
+	assocReadout := 1
+	if spec.IsCache && (spec.Mode == Normal || spec.Mode == Fast) {
+		assocReadout = spec.Associativity
+	}
+	dataCapacity := spec.CapacityBytes / int64(spec.Banks)
+	outputBits := spec.BlockBytes * 8
+	if spec.ECC {
+		// SECDED: 8 check bits per 64 data bits.
+		dataCapacity = dataCapacity * 9 / 8
+		outputBits = outputBits * 9 / 8
+	}
+	return array.Spec{
+		Tech:              t,
+		RAM:               spec.RAM,
+		CapacityBytes:     dataCapacity,
+		OutputBits:        outputBits,
+		AssocReadout:      assocReadout,
+		RouteAllWays:      spec.Mode == Fast,
+		PageBits:          spec.PageBits,
+		MaxPipelineStages: spec.MaxPipelineStages,
+		RepeaterSlack:     spec.MaxRepeaterSlack,
+		SleepTransistors:  spec.SleepTransistors,
+		Ports:             spec.Ports,
+	}
+}
+
+// tagArraySpec derives the tag-array enumeration spec from a
+// normalized cache spec.
+func tagArraySpec(spec Spec, t *tech.Technology) array.Spec {
 	tagBits := spec.TagBits()
 	setsPerBank := spec.CapacityBytes / int64(spec.Banks) / int64(spec.BlockBytes) / int64(spec.Associativity)
 	capBytes := setsPerBank * int64(spec.Associativity) * int64(tagBits) / 8
 	if capBytes < 512 {
 		capBytes = 512
 	}
-	tagSpec := array.Spec{
+	return array.Spec{
 		Tech:              t,
 		RAM:               spec.tagRAM(),
 		CapacityBytes:     capBytes,
@@ -475,7 +509,11 @@ func optimizeTag(ctx context.Context, spec Spec, t *tech.Technology, opts *Optio
 		RepeaterSlack:     spec.MaxRepeaterSlack,
 		SleepTransistors:  spec.SleepTransistors,
 	}
-	banks, counters, err := array.EnumerateContext(ctx, tagSpec, opts.workers())
+}
+
+// optimizeTag builds and optimizes the tag array for a cache spec.
+func optimizeTag(ctx context.Context, spec Spec, t *tech.Technology, opts *Options) (*array.Bank, error) {
+	banks, counters, err := array.EnumerateContext(ctx, tagArraySpec(spec, t), opts.workers())
 	if opts != nil && opts.Stats != nil {
 		opts.Stats.Tag = counters
 	}

@@ -30,6 +30,11 @@ type Options struct {
 	// onto the same GOMAXPROCS threads, so the default is safe for
 	// both single solves and wide sweeps.
 	SolverWorkers int
+	// NoBound disables the solver's branch-and-bound enumeration
+	// pruning (core.Options.NoBound) — the A/B escape hatch. Solutions
+	// are byte-identical either way; only the prune counters and the
+	// per-solve runtime differ.
+	NoBound bool
 	// Cache lets several engines share one result cache; nil makes a
 	// private one.
 	Cache *Cache
@@ -74,9 +79,10 @@ type Engine struct {
 
 	// Enumeration coverage, accumulated from core.SolveStats by the
 	// default solver (zero when a custom Solver is injected).
-	orgsConsidered atomic.Int64
-	orgsPruned     atomic.Int64
-	orgsBuilt      atomic.Int64
+	orgsConsidered  atomic.Int64
+	orgsPruned      atomic.Int64
+	orgsBuilt       atomic.Int64
+	orgsPrunedBound atomic.Int64 // subset of orgsPruned cut by bound pruning
 }
 
 // New returns an Engine with the given options.
@@ -91,13 +97,16 @@ func New(opts Options) *Engine {
 	}
 	if e.solver == nil {
 		solverWorkers := opts.SolverWorkers
+		noBound := opts.NoBound
 		e.solver = func(ctx context.Context, spec core.Spec) (*core.Solution, error) {
 			var st core.SolveStats
-			sol, err := core.OptimizeContext(ctx, spec, &core.Options{Workers: solverWorkers, Stats: &st})
+			sol, err := core.OptimizeContext(ctx, spec,
+				&core.Options{Workers: solverWorkers, Stats: &st, NoBound: noBound})
 			total := st.Total()
 			e.orgsConsidered.Add(total.Considered)
 			e.orgsPruned.Add(total.PrunedTotal())
 			e.orgsBuilt.Add(total.Built)
+			e.orgsPrunedBound.Add(total.PrunedBoundShard + total.PrunedBoundPoint)
 			return sol, err
 		}
 	}
@@ -298,6 +307,10 @@ type Stats struct {
 	OrgsConsidered int64 `json:"orgs_considered"`
 	OrgsPruned     int64 `json:"orgs_pruned"`
 	OrgsBuilt      int64 `json:"orgs_built"`
+	// OrgsPrunedBound is the subset of OrgsPruned discarded by the
+	// branch-and-bound tiers (zero when NoBound is set or the bounded
+	// path never applied).
+	OrgsPrunedBound int64 `json:"orgs_pruned_bound"`
 }
 
 // HitRatio returns the fraction of requests served without running
@@ -336,5 +349,6 @@ func (e *Engine) Stats() Stats {
 		OrgsConsidered:    e.orgsConsidered.Load(),
 		OrgsPruned:        e.orgsPruned.Load(),
 		OrgsBuilt:         e.orgsBuilt.Load(),
+		OrgsPrunedBound:   e.orgsPrunedBound.Load(),
 	}
 }

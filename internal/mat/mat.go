@@ -361,22 +361,65 @@ func NewShared(cfg Config) (*Shared, error) {
 	return m, nil
 }
 
+// MuxParts holds the column-mux-dependent circuit blocks of the mat
+// model: the sense-amplifier strip and the column-select decoder.
+// Both depend only on (technology, RAM type, ports, cols, mux) — not
+// on the subarray row count — so one MuxParts serves every Shared
+// that agrees on those five inputs. CACTI-D's enumeration sweeps a
+// rows x cols grid with mux innermost; memoizing MuxParts by
+// (cols, mux) collapses the per-(rows,cols,mux) decoder and
+// sense-amp modeling (the hot half of Build) to one evaluation per
+// (cols, mux) pair.
+type MuxParts struct {
+	SA     circuit.Result // sense-amplifier strip (nSA amps)
+	ColSel circuit.Result // column-select decoder
+}
+
+// MuxParts evaluates the mux-dependent circuit blocks for one column
+// mux degree. It is a pure function of the Shared's (tech, RAM,
+// ports, cols) and mux: two Shared values that agree on those inputs
+// produce bit-identical MuxParts for the same mux.
+func (s *Shared) MuxParts(mux int) MuxParts {
+	if mux < 1 {
+		mux = 1
+	}
+	nSA := s.cfg.Cols
+	if !s.isDRAM {
+		nSA = s.cfg.Cols / mux
+	}
+	return MuxParts{
+		SA:     circuit.SenseAmp(s.cfg.Tech, s.per, nSA, s.cellW*float64(mux)),
+		ColSel: circuit.NewDecoder(s.per, mux, 20e-15, s.colSelWireCap, s.colSelWireRes).Res,
+	}
+}
+
 // Build completes the mat model for one column-mux degree, reusing
 // every mux-independent quantity of the Shared stage. It returns
 // ErrBadConfig when cols is not divisible by mux.
 func (s *Shared) Build(mux int) (*Mat, error) {
+	m := new(Mat)
+	if err := s.BuildInto(mux, nil, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// BuildInto is Build writing into caller-provided storage — batch
+// enumeration evaluates a whole shard into one flat slab instead of
+// allocating a Mat per point. parts supplies memoized mux-dependent
+// circuit blocks (see MuxParts); nil computes them in place.
+func (s *Shared) BuildInto(mux int, parts *MuxParts, m *Mat) error {
 	if mux < 1 {
 		mux = 1
 	}
 	if s.cfg.Cols%mux != 0 {
-		return nil, fmt.Errorf("%w: cols %d not divisible by mux degree %d", ErrBadConfig, s.cfg.Cols, mux)
+		return fmt.Errorf("%w: cols %d not divisible by mux degree %d", ErrBadConfig, s.cfg.Cols, mux)
 	}
 	cfg := s.cfg
 	cfg.DegBLMux = mux
-	t := cfg.Tech
 	cell, per := s.cell, s.per
 
-	m := &Mat{Config: cfg}
+	*m = Mat{Config: cfg}
 	m.Width = s.width
 	m.CellArea = s.cellArea
 	m.CBitline = s.cBitline
@@ -389,20 +432,19 @@ func (s *Shared) Build(mux int) (*Mat, error) {
 	m.EWritePerBit = s.eWritePerBit
 	m.EPrecharge = s.ePrecharge
 
-	// ---- Sense amplifiers ----
-	nSA := cfg.Cols
-	if !s.isDRAM {
-		nSA = cfg.Cols / cfg.DegBLMux
+	// ---- Sense amplifiers and column-select decoder ----
+	if parts == nil {
+		p := s.MuxParts(mux)
+		parts = &p
 	}
-	sa := circuit.SenseAmp(t, per, nSA, s.cellW*float64(cfg.DegBLMux))
+	sa := parts.SA
 	m.TSense = sa.Delay
 
 	// ---- Column mux / data-out path ----
 	m.DataBitsOut = cfg.Cols / cfg.DegBLMux * subarraysPerMat
-	colSel := circuit.NewDecoder(per, cfg.DegBLMux, 20e-15,
-		s.colSelWireCap, s.colSelWireRes)
+	colSel := parts.ColSel
 	if cfg.DegBLMux > 1 {
-		m.TColumnMux = colSel.Res.Delay / 2 // overlaps with sensing partially
+		m.TColumnMux = colSel.Delay / 2 // overlaps with sensing partially
 	} else {
 		m.TColumnMux = 0
 	}
@@ -410,13 +452,13 @@ func (s *Shared) Build(mux int) (*Mat, error) {
 	// ---- Energy ----
 	// All four subarrays of the mat activate together.
 	m.EActivate = float64(subarraysPerMat) * (s.eActPrefix + sa.Energy)
-	m.ERead = float64(subarraysPerMat) * (colSel.Res.Energy +
+	m.ERead = float64(subarraysPerMat) * (colSel.Energy +
 		float64(m.DataBitsOut/subarraysPerMat)*20e-15*per.Vdd*per.Vdd)
 	m.EWrite = m.ERead + float64(m.DataBitsOut)*m.EWritePerBit
 
 	// ---- Leakage ----
 	m.Leakage = s.nCells*s.cellLeak +
-		float64(subarraysPerMat)*(s.leakStaticPrefix+sa.Leakage+colSel.Res.Leakage)
+		float64(subarraysPerMat)*(s.leakStaticPrefix+sa.Leakage+colSel.Leakage)
 
 	// ---- Refresh ----
 	if s.isDRAM {
@@ -434,7 +476,7 @@ func (s *Shared) Build(mux int) (*Mat, error) {
 	saStripH := 1.6 * sa.Area / s.saWidth
 	m.Height = 2*s.saHeight + 2*saStripH
 	m.Area = m.Width * m.Height
-	return m, nil
+	return nil
 }
 
 // AccessTime returns the read access time through the mat: decode,
