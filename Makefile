@@ -9,7 +9,7 @@
 # only, see .github/workflows/ci.yml).
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: verify build test vet lint race stress fuzz vulncheck bench bench-sweep bench-compare
+.PHONY: verify build test vet lint race stress fuzz vulncheck bench bench-sweep bench-compare bench-fabric fabric-test fabric-smoke
 
 verify: vet lint build test race
 
@@ -72,4 +72,28 @@ BENCH_COUNT ?= 3
 BENCH_MAX_REGRESS ?= 0
 bench-compare:
 	GOMAXPROCS=1 go test -run '^$$' -bench BenchmarkSolve -benchmem -count=$(BENCH_COUNT) . \
-		| go run ./cmd/benchcompare -baseline BENCH_solve.json -json -max-regress $(BENCH_MAX_REGRESS)
+		| go run ./cmd/benchcompare -file BENCH_solve.json -json -max-regress $(BENCH_MAX_REGRESS)
+
+# bench-fabric runs the distributed-sweep throughput benchmark
+# (points/s at 1/2/4 in-process workers, see BENCH_sweep.json) and
+# compares ns/op against the latest recorded round.
+bench-fabric:
+	GOMAXPROCS=1 go test -run '^$$' -bench BenchmarkSweepFabric -count=$(BENCH_COUNT) ./internal/fabric/ \
+		| go run ./cmd/benchcompare -file BENCH_sweep.json -json -max-regress $(BENCH_MAX_REGRESS)
+
+# fabric-test runs the sweep-fabric suite under the race detector:
+# the coordinator/ring/steal/reroute unit and chaos tests in
+# internal/fabric, the streaming-merge tests in internal/explore, and
+# the cactid-serve cluster integration tests (HTTP byte-identity,
+# owner routing, dead-worker reroute, registration).
+fabric-test:
+	go test -race ./internal/fabric/
+	go test -race -run 'Fabric|Coordinator|Cluster|StatsEndpoint|StatsMerge|FrontierMerger|SweepStream' \
+		./internal/explore/ ./cmd/cactid-serve/
+
+# fabric-smoke builds the real binary and drives a loopback cluster
+# (coordinator + 2 workers + a single-node reference): the distributed
+# sweep must be byte-identical to the single-node one. Artifacts land
+# in $$FABRIC_SMOKE_DIR for CI upload.
+fabric-smoke:
+	scripts/fabric_smoke.sh

@@ -1,9 +1,14 @@
-// Command benchcompare compares `go test -bench` output for
-// BenchmarkSolve against the recorded baseline in BENCH_solve.json and
-// prints per-spec deltas:
+// Command benchcompare compares `go test -bench` output against a
+// recorded baseline file and prints per-spec deltas:
 //
 //	go test -run '^$' -bench BenchmarkSolve -benchmem -count=3 . |
-//	    go run ./cmd/benchcompare -baseline BENCH_solve.json
+//	    go run ./cmd/benchcompare -file BENCH_solve.json
+//	go test -run '^$' -bench BenchmarkSweepFabric -count=3 ./internal/fabric/ |
+//	    go run ./cmd/benchcompare -file BENCH_sweep.json
+//
+// The benchmark name to extract is read from the baseline file's
+// "benchmark" field, so one binary gates every recorded trajectory
+// (-benchmark overrides it when a file mixes several).
 //
 // For each spec the median ns/op (and B/op, allocs/op when present)
 // over the repeated runs is compared against the latest round's
@@ -104,12 +109,16 @@ type comparison struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_solve.json", "baseline file (rounds schema; latest round's \"after\" is compared)")
-	benchmark := flag.String("benchmark", "BenchmarkSolve", "benchmark name to extract")
+	filePath := flag.String("file", "", "baseline file to gate, e.g. BENCH_solve.json or BENCH_sweep.json (rounds schema; latest round's \"after\" is compared)")
+	baselinePath := flag.String("baseline", "BENCH_solve.json", "legacy alias of -file")
+	benchmark := flag.String("benchmark", "", "benchmark name to extract (default: the baseline file's \"benchmark\" field)")
 	asJSON := flag.Bool("json", false, "also print the comparison as JSON")
 	maxRegress := flag.Float64("max-regress", 0, "exit 1 when any spec regresses beyond this ratio (0 = report only)")
 	flag.Parse()
 
+	if *filePath != "" {
+		*baselinePath = *filePath
+	}
 	raw, err := os.ReadFile(*baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
@@ -125,6 +134,13 @@ func main() {
 		os.Exit(2)
 	}
 	baseline := base.Rounds[len(base.Rounds)-1].After
+	if *benchmark == "" {
+		*benchmark = base.Benchmark
+	}
+	if *benchmark == "" {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s has no \"benchmark\" field; pass -benchmark\n", *baselinePath)
+		os.Exit(2)
+	}
 
 	samples, err := parseBench(os.Stdin, *benchmark)
 	if err != nil {

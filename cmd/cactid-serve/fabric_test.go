@@ -1,0 +1,258 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// sweepBody is a 24-point grid request reused across the cluster
+// tests; small enough for fast real solves, large enough to shard.
+const sweepBody = `{"base":{"ram":"sram","node_nm":32,"block_bytes":64},
+	"capacities":["32KB","64KB","128KB"],
+	"associativities":[1,2,4,8],
+	"modes":["normal","seq"]}`
+
+// clusterServers starts n worker nodes plus a coordinator wired to
+// them over loopback HTTP, returning (coordinator, workers).
+func clusterServers(t *testing.T, n int, mutate func(*config)) (*server, []*server, string) {
+	t.Helper()
+	workers := make([]*server, n)
+	urls := ""
+	for i := range workers {
+		workers[i] = mustServer(t, config{})
+		ts := newHTTPServer(t, workers[i])
+		if urls != "" {
+			urls += ","
+		}
+		urls += ts.URL
+	}
+	cfg := config{coordinator: true, workerNodes: urls, fabricChunk: 2}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	co := mustServer(t, cfg)
+	return co, workers, urls
+}
+
+func newHTTPServer(t *testing.T, s *server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestCoordinatorSweepByteIdenticalOverHTTP drives the full wire
+// path: a coordinator sharding a real sweep across two worker nodes
+// over HTTP must answer /v1/sweep (JSON and CSV) byte-identically to
+// a plain single-node server.
+func TestCoordinatorSweepByteIdenticalOverHTTP(t *testing.T) {
+	// A fresh cluster per format: byte-identity is a cold-sweep
+	// guarantee. On a warm repeat a chunk stolen during the first
+	// sweep leaves its cache entry on the non-owner, so the owner
+	// re-solves it and the cached flags legitimately diverge.
+	for _, format := range []string{"", "?format=csv"} {
+		co, workers, _ := clusterServers(t, 2, nil)
+		coURL := newHTTPServer(t, co).URL
+		single := newTestServer(t, config{})
+
+		resp, want := post(t, single.URL+"/v1/sweep"+format, sweepBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("single-node status %d: %s", resp.StatusCode, want)
+		}
+		resp, got := post(t, coURL+"/v1/sweep"+format, sweepBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("coordinator status %d: %s", resp.StatusCode, got)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("distributed /v1/sweep%s differs from single-node", format)
+		}
+
+		// The work actually ran on the workers, exactly once per
+		// point, and nothing ran on the coordinator's own engine.
+		var clusterSolves int64
+		for _, ws := range workers {
+			clusterSolves += ws.eng.Stats().Solves
+		}
+		if clusterSolves != 24 {
+			t.Fatalf("cluster solved %d points for 24 specs (exactly-once violated)", clusterSolves)
+		}
+		if co.eng.Stats().Solves != 0 {
+			t.Fatalf("coordinator engine solved %d points; all work should be remote", co.eng.Stats().Solves)
+		}
+	}
+}
+
+// TestCoordinatorSolveRoutesToOwner: single solves go to the spec's
+// fingerprint owner, so repeat traffic hits that worker's cache.
+func TestCoordinatorSolveRoutesToOwner(t *testing.T) {
+	co, workers, _ := clusterServers(t, 2, nil)
+	coURL := newHTTPServer(t, co).URL
+
+	req := `{"ram":"sram","capacity":"64KB","associativity":4,"block_bytes":64,"node_nm":32}`
+	resp, body := post(t, coURL+"/v1/solve", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Cactid-Cached") != "false" {
+		t.Fatal("first solve reported cached")
+	}
+	resp, _ = post(t, coURL+"/v1/solve", req)
+	if resp.Header.Get("X-Cactid-Cached") != "true" {
+		t.Fatal("repeat solve missed the owner's cache")
+	}
+	solves := workers[0].eng.Stats().Solves + workers[1].eng.Stats().Solves
+	if solves != 1 || co.eng.Stats().Solves != 0 {
+		t.Fatalf("owner routing off: worker solves=%d coordinator solves=%d", solves, co.eng.Stats().Solves)
+	}
+}
+
+// TestCoordinatorSurvivesDeadWorkerNode: one configured worker URL
+// points at a dead port; the sweep reroutes to the live worker and
+// stays byte-identical, and /v1/fabric records the failure.
+func TestCoordinatorSurvivesDeadWorkerNode(t *testing.T) {
+	live := mustServer(t, config{})
+	liveURL := newHTTPServer(t, live).URL
+	// A listener that is closed immediately: connection refused.
+	deadTS := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadTS.URL
+	deadTS.Close()
+
+	co := mustServer(t, config{coordinator: true,
+		workerNodes: liveURL + "," + deadURL, fabricChunk: 2})
+	coURL := newHTTPServer(t, co).URL
+	single := newTestServer(t, config{})
+
+	_, want := post(t, single.URL+"/v1/sweep", sweepBody)
+	resp, got := post(t, coURL+"/v1/sweep", sweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("sweep with a dead worker differs from single-node")
+	}
+
+	resp, body := get(t, coURL+"/v1/fabric")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/fabric status %d: %s", resp.StatusCode, body)
+	}
+	var view struct {
+		Fabric struct {
+			HealthyWorkers   int   `json:"healthy_workers"`
+			DispatchFailures int64 `json:"dispatch_failures"`
+			DuplicateResults int64 `json:"duplicate_results"`
+		} `json:"fabric"`
+		ClusterStats struct {
+			Solves int64 `json:"solves"`
+		} `json:"cluster_stats"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatalf("bad /v1/fabric body: %v\n%s", err, body)
+	}
+	if view.Fabric.HealthyWorkers != 1 {
+		t.Fatalf("healthy_workers = %d, want 1", view.Fabric.HealthyWorkers)
+	}
+	if view.Fabric.DispatchFailures == 0 {
+		t.Fatal("dead worker produced no dispatch failures")
+	}
+	if view.Fabric.DuplicateResults != 0 {
+		t.Fatalf("%d duplicate deliveries", view.Fabric.DuplicateResults)
+	}
+	if view.ClusterStats.Solves != 24 {
+		t.Fatalf("cluster stats report %d solves for 24 specs", view.ClusterStats.Solves)
+	}
+}
+
+// TestFabricRegisterJoinsWorker: a coordinator started with no
+// workers serves sweeps locally until a worker registers, after
+// which the work moves to the worker.
+func TestFabricRegisterJoinsWorker(t *testing.T) {
+	co := mustServer(t, config{coordinator: true, fabricChunk: 2})
+	coURL := newHTTPServer(t, co).URL
+	worker := mustServer(t, config{})
+	workerURL := newHTTPServer(t, worker).URL
+
+	// No workers yet: the local fallback serves the sweep.
+	resp, body := post(t, coURL+"/v1/sweep", sweepBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if co.eng.Stats().Solves != 24 {
+		t.Fatalf("local fallback solved %d/24 points", co.eng.Stats().Solves)
+	}
+
+	resp, body = post(t, coURL+"/v1/fabric/register", fmt.Sprintf(`{"url":%q}`, workerURL))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register status %d: %s", resp.StatusCode, body)
+	}
+	var reg struct {
+		Registered bool `json:"registered"`
+		Workers    int  `json:"workers"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil || !reg.Registered || reg.Workers != 1 {
+		t.Fatalf("register reply %s (err %v)", body, err)
+	}
+
+	// A fresh grid (different block size -> new fingerprints) now
+	// runs on the worker.
+	fresh := `{"base":{"ram":"sram","node_nm":32,"block_bytes":32},
+		"capacities":["32KB","64KB"],"associativities":[1,2]}`
+	if resp, body := post(t, coURL+"/v1/sweep", fresh); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := worker.eng.Stats().Solves; got != 4 {
+		t.Fatalf("registered worker solved %d/4 points", got)
+	}
+
+	// /v1/solve-batch?wire=fabric on a non-coordinator worker is the
+	// dispatch surface; /v1/fabric must stay coordinator-only.
+	if resp, _ := get(t, workerURL+"/v1/fabric"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/v1/fabric on a worker answered %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestMetricsFabricBlock: coordinator /metrics carries the fabric
+// block; worker /metrics does not.
+func TestMetricsFabricBlock(t *testing.T) {
+	co, _, _ := clusterServers(t, 1, nil)
+	coURL := newHTTPServer(t, co).URL
+	post(t, coURL+"/v1/sweep", sweepBody)
+	_, body := get(t, coURL+"/metrics")
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["fabric"]; !ok {
+		t.Fatal("coordinator /metrics lacks the fabric block")
+	}
+
+	worker := newTestServer(t, config{})
+	_, body = get(t, worker.URL+"/metrics")
+	m = nil
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["fabric"]; ok {
+		t.Fatal("worker /metrics unexpectedly carries a fabric block")
+	}
+}
+
+// TestStatsEndpoint: every node serves its engine counters on
+// /v1/stats for cluster aggregation.
+func TestStatsEndpoint(t *testing.T) {
+	ts := newTestServer(t, config{})
+	post(t, ts.URL+"/v1/solve", `{"ram":"sram","capacity":"64KB","associativity":4,"block_bytes":64,"node_nm":32}`)
+	_, body := get(t, ts.URL+"/v1/stats")
+	var st struct {
+		Solves int64 `json:"solves"`
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Solves != 1 {
+		t.Fatalf("/v1/stats solves = %d, want 1", st.Solves)
+	}
+}

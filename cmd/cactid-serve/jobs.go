@@ -78,7 +78,12 @@ func (j *job) resultAt(i int) explore.Result {
 // must not starve interactive /v1 traffic of its slots; the engine's
 // shared worker pool is the actual CPU bound.
 type jobManager struct {
-	eng             *explore.Engine
+	// sweep is the solve path for job chunks: the local engine's Sweep
+	// in worker mode, the fabric coordinator's distributed sweep in
+	// coordinator mode. Both share the contract that results come back
+	// in input order with chunk-relative indices, canceled tails marked
+	// with the context error.
+	sweep           func(context.Context, []core.Spec) []explore.Result
 	st              *store.Store // nil: jobs run without durability
 	checkpointEvery int
 	maxPoints       int
@@ -95,13 +100,13 @@ type jobManager struct {
 	wg        sync.WaitGroup
 }
 
-func newJobManager(eng *explore.Engine, st *store.Store, checkpointEvery, maxPoints int) *jobManager {
+func newJobManager(sweep func(context.Context, []core.Spec) []explore.Result, st *store.Store, checkpointEvery, maxPoints int) *jobManager {
 	if checkpointEvery <= 0 {
 		checkpointEvery = 32
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &jobManager{
-		eng: eng, st: st,
+		sweep: sweep, st: st,
 		checkpointEvery: checkpointEvery,
 		maxPoints:       maxPoints,
 		ctx:             ctx, cancel: cancel,
@@ -259,7 +264,7 @@ func (m *jobManager) run(j *job) {
 		if end > len(specs) {
 			end = len(specs)
 		}
-		chunk := m.eng.Sweep(m.ctx, specs[cur:end])
+		chunk := m.sweep(m.ctx, specs[cur:end])
 		// Keep only the prefix untouched by cancellation: a canceled
 		// point says nothing about its spec and must not be recorded
 		// (resume would otherwise serve it as a real failure).

@@ -17,6 +17,7 @@ import (
 	"cactid/internal/chaos"
 	"cactid/internal/core"
 	"cactid/internal/explore"
+	"cactid/internal/fabric"
 	"cactid/internal/store"
 )
 
@@ -37,6 +38,14 @@ type config struct {
 	// checkpointEvery sets the sweep-job chunk size between durable
 	// checkpoints (0 = 32); tests shrink it to exercise resume.
 	checkpointEvery int
+
+	// Coordinator mode (internal/fabric): sweeps shard across the
+	// worker nodes by spec fingerprint, with work stealing and
+	// failure reroute; this node's own engine is the fallback.
+	coordinator    bool
+	workerNodes    string        // comma-separated worker base URLs; more join via /v1/fabric/register
+	fabricChunk    int           // specs per dispatch chunk (0 = fabric default 16)
+	heartbeatEvery time.Duration // worker health-probe period (0 = no background probing)
 
 	// solver overrides core.OptimizeContext; tests inject slow or
 	// counting solvers through it.
@@ -95,6 +104,9 @@ const (
 	epJobSubmit
 	epJobGet
 	epJobStream
+	epStats
+	epFabric
+	epFabricRegister
 	epHealthz
 	epMetrics
 	nEndpoints
@@ -102,7 +114,8 @@ const (
 
 func (e endpoint) String() string {
 	return [nEndpoints]string{"solve", "sweep", "pareto", "solve_batch",
-		"job_submit", "job_get", "job_stream", "healthz", "metrics"}[e]
+		"job_submit", "job_get", "job_stream", "stats", "fabric",
+		"fabric_register", "healthz", "metrics"}[e]
 }
 
 func (m *metrics) observe(d time.Duration) {
@@ -132,6 +145,12 @@ type server struct {
 	sem     chan struct{}
 	mux     *http.ServeMux
 	metrics metrics
+
+	// sweep is the node's solve path for multi-point requests: the
+	// local engine in worker mode, the fabric coordinator's sharded
+	// sweep in coordinator mode. fab is nil outside coordinator mode.
+	sweep func(context.Context, []core.Spec) []explore.Result
+	fab   *fabric.Coordinator
 
 	// Durability: st is the disk-backed result store (nil without
 	// -store) serving as the engine's tier 1 and as the sweep-job
@@ -193,8 +212,21 @@ func newServer(cfg config) (*server, error) {
 		drainCh: make(chan struct{}),
 		st:      st,
 	}
-	s.jobs = newJobManager(s.eng, st, cfg.checkpointEvery, cfg.maxPoints)
+	s.sweep = s.eng.Sweep
+	if cfg.coordinator {
+		s.fab = newFabric(cfg, s.eng)
+		s.sweep = func(ctx context.Context, specs []core.Spec) []explore.Result {
+			return s.fab.Sweep(ctx, specs, nil)
+		}
+		s.mux.HandleFunc("GET /v1/fabric", s.handleFabric)
+		s.mux.HandleFunc("POST /v1/fabric/register", s.handleFabricRegister)
+	}
+	s.jobs = newJobManager(s.sweep, st, cfg.checkpointEvery, cfg.maxPoints)
 	s.mux.HandleFunc("POST /v1/solve", s.gated(epSolve, s.handleSolve))
+	// Like the job views, /v1/stats is a read-only counter snapshot
+	// (the coordinator polls it on every worker for cluster-wide
+	// aggregation) and bypasses the admission gate.
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("POST /v1/sweep", s.gated(epSweep, s.handleSweep))
 	s.mux.HandleFunc("POST /v1/pareto", s.gated(epPareto, s.handlePareto))
 	s.mux.HandleFunc("POST /v1/solve-batch", s.gated(epSolveBatch, s.handleSolveBatch))
@@ -230,6 +262,9 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // the durable store is flushed and closed. Call after drain().
 func (s *server) close() {
 	s.jobs.drain()
+	if s.fab != nil {
+		s.fab.Close()
+	}
 	if s.st != nil {
 		s.st.Close()
 	}
@@ -433,6 +468,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return badRequest(err)
 	}
+	if s.fab != nil {
+		// Coordinator mode: hand the point to its fingerprint owner;
+		// fall through to the local engine when no owner is reachable.
+		if handled, err := s.proxySolveToOwner(w, r, spec); handled {
+			return err
+		}
+	}
 	sol, cached, err := s.eng.Solve(r.Context(), spec)
 	if err != nil {
 		if errors.Is(err, core.ErrNoSolution) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -440,6 +482,12 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) error {
 		}
 		return badRequest(err) // invalid spec
 	}
+	return writeSolution(w, sol, cached)
+}
+
+// writeSolution renders a solved spec exactly like `cactid -json`,
+// with the cache-hit marker header.
+func writeSolution(w http.ResponseWriter, sol *core.Solution, cached bool) error {
 	out, err := json.MarshalIndent(explore.SolutionJSON(sol), "", "  ")
 	if err != nil {
 		return err
@@ -464,7 +512,8 @@ func (s *server) sweepGrid(r *http.Request) ([]explore.Result, int, error) {
 	if n := grid.Points(); n > s.cfg.maxPoints {
 		return nil, 0, badRequest(fmt.Errorf("grid has %d points, limit %d", n, s.cfg.maxPoints))
 	}
-	results, skipped := s.eng.SweepGrid(r.Context(), grid)
+	specs, skipped := grid.Expand()
+	results := s.sweep(r.Context(), specs)
 	if err := r.Context().Err(); err != nil {
 		return nil, 0, err
 	}
@@ -496,6 +545,9 @@ type batchRequest struct {
 }
 
 func (s *server) handleSolveBatch(w http.ResponseWriter, r *http.Request) error {
+	if r.URL.Query().Get("wire") == "fabric" {
+		return s.handleSolveBatchFabric(w, r)
+	}
 	req, err := decode[batchRequest](r)
 	if err != nil {
 		return err
@@ -512,7 +564,7 @@ func (s *server) handleSolveBatch(w http.ResponseWriter, r *http.Request) error 
 			return badRequest(fmt.Errorf("specs[%d]: %w", i, err))
 		}
 	}
-	results := s.eng.Sweep(r.Context(), specs)
+	results := s.sweep(r.Context(), specs)
 	if err := r.Context().Err(); err != nil {
 		return err
 	}
@@ -776,6 +828,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			"put_faults":        ss.PutFaults,
 			"recover_faults":    ss.RecoverFaults,
 		}
+	}
+	if s.fab != nil {
+		// Coordinator view: per-worker health and dispatch/steal/
+		// reroute counters for the sweep fabric.
+		body["fabric"] = s.fab.Status()
 	}
 	if s.cfg.chaos.Enabled() {
 		// Per-point fault counters, only when injection is armed: the

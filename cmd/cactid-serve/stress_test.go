@@ -15,6 +15,9 @@ import (
 	"cactid/internal/array"
 	"cactid/internal/chaos"
 	"cactid/internal/core"
+	"cactid/internal/explore"
+	"cactid/internal/fabric"
+	"cactid/internal/tech"
 )
 
 // waitGoroutinesSettle polls until the goroutine count returns to
@@ -278,6 +281,8 @@ func TestChaosServerNoUnexpected5xx(t *testing.T) {
 		chaos.Rule{Point: chaos.StoreRecover, Fault: chaos.Cancel, Rate: 1},
 		chaos.Rule{Point: chaos.StoreGet, Fault: chaos.Cancel, Rate: 0.3},
 		chaos.Rule{Point: chaos.StorePut, Fault: chaos.Cancel, Rate: 0.3},
+		chaos.Rule{Point: chaos.FabricDispatch, Fault: chaos.Cancel, Rate: 0.3},
+		chaos.Rule{Point: chaos.FabricSteal, Fault: chaos.Cancel, Rate: 0.75},
 	)
 	fast := func(_ context.Context, spec core.Spec) (*core.Solution, error) {
 		return &core.Solution{Spec: spec, Data: &array.Bank{}}, nil
@@ -307,6 +312,36 @@ func TestChaosServerNoUnexpected5xx(t *testing.T) {
 			check(client.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(sweep)))
 		}
 	}
+
+	// The fabric points arm through a coordinator sharding a sweep
+	// across two in-process workers under the same schedule. One
+	// worker is deliberately slow, so the fast one runs dry and tries
+	// to steal from its queue; injected dispatch cancels exercise the
+	// reroute path. Every point must still come back solved.
+	slow := func(ctx context.Context, spec core.Spec) (*core.Solution, error) {
+		time.Sleep(2 * time.Millisecond)
+		return fast(ctx, spec)
+	}
+	co := fabric.New(fabric.Config{
+		Workers: []fabric.Worker{
+			&fabric.EngineWorker{WorkerName: "stress-slow",
+				Engine: explore.New(explore.Options{Workers: 1, Solver: slow})},
+			&fabric.EngineWorker{WorkerName: "stress-fast",
+				Engine: explore.New(explore.Options{Workers: 1, Solver: fast})},
+		},
+		ChunkSize: 1, Chaos: inj,
+		Local: explore.New(explore.Options{Workers: 1, Solver: fast}).Sweep,
+	})
+	fabricSpecs := make([]core.Spec, 24)
+	for i := range fabricSpecs {
+		fabricSpecs[i] = core.Spec{RAM: tech.SRAM, CapacityBytes: int64(i+1) << 10, BlockBytes: 64}
+	}
+	for i, r := range co.Sweep(context.Background(), fabricSpecs, nil) {
+		if r.Err != nil {
+			t.Errorf("fabric point %d failed under chaos: %v", i, r.Err)
+		}
+	}
+	co.Close()
 
 	snap := inj.Snapshot()
 	for _, p := range chaos.Points() {

@@ -193,7 +193,7 @@ func TestConcurrentArming(t *testing.T) {
 
 func TestPointsCatalog(t *testing.T) {
 	pts := Points()
-	if len(pts) != 8 {
+	if len(pts) != 10 {
 		t.Fatalf("catalog has %d points", len(pts))
 	}
 	seen := map[Point]bool{}

@@ -236,6 +236,33 @@ func (e *Engine) sweepOne(ctx context.Context, spec core.Spec, i int) (r Result)
 // unfinished tail with ctx.Err().
 func (e *Engine) Sweep(ctx context.Context, specs []core.Spec) []Result {
 	results := make([]Result, len(specs))
+	e.sweepInto(ctx, specs, func(i int, r Result) { results[i] = r })
+	return results
+}
+
+// SweepStream evaluates every spec on the worker pool, handing each
+// Result to emit as soon as its point completes — in completion
+// order, not input order, so a consumer (an incremental Pareto
+// merger, a chunked network reply) sees partial results while the
+// sweep is still running. Calls to emit are serialized: emit needs no
+// internal locking, but a slow emit backpressures the pool. Every
+// input spec is emitted exactly once; points a cancelled context cut
+// off are emitted with ctx.Err() before SweepStream returns.
+func (e *Engine) SweepStream(ctx context.Context, specs []core.Spec, emit func(Result)) {
+	var mu sync.Mutex
+	e.sweepInto(ctx, specs, func(_ int, r Result) {
+		mu.Lock()
+		defer mu.Unlock()
+		emit(r)
+	})
+}
+
+// sweepInto is the shared sweep pump: a bounded worker pool pulling
+// point indices from a channel, delivering each finished Result
+// through deliver(i, r). deliver may run concurrently from several
+// workers (Sweep writes disjoint slice slots; SweepStream wraps it in
+// a mutex).
+func (e *Engine) sweepInto(ctx context.Context, specs []core.Spec, deliver func(int, Result)) {
 	workers := e.workers
 	if workers > len(specs) {
 		workers = len(specs)
@@ -250,7 +277,7 @@ func (e *Engine) Sweep(ctx context.Context, specs []core.Spec) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = e.sweepOne(ctx, specs[i], i)
+				deliver(i, e.sweepOne(ctx, specs[i], i))
 			}
 		}()
 	}
@@ -266,9 +293,8 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 	for i := sent; i < len(specs); i++ {
-		results[i] = Result{Index: i, Spec: specs[i], Err: ctx.Err()}
+		deliver(i, Result{Index: i, Spec: specs[i], Err: ctx.Err()})
 	}
-	return results
 }
 
 // SweepGrid expands the grid and sweeps it.
@@ -311,6 +337,32 @@ type Stats struct {
 	// branch-and-bound tiers (zero when NoBound is set or the bounded
 	// path never applied).
 	OrgsPrunedBound int64 `json:"orgs_pruned_bound"`
+}
+
+// Merge returns the field-wise sum of s and other: the cluster view
+// of several engines' counters (a sweep-fabric coordinator aggregates
+// its workers' stats this way). Every counter adds, so merging
+// conserves them: merged.Solves is exactly the number of solver
+// invocations anywhere in the cluster. The entry gauges add too —
+// CacheEntries is the cluster-wide resident result count and
+// CacheMaxEntries the cluster-wide capacity (0 stays "unbounded" only
+// when every engine is unbounded).
+func (s Stats) Merge(other Stats) Stats {
+	return Stats{
+		Solves:            s.Solves + other.Solves,
+		CacheHits:         s.CacheHits + other.CacheHits,
+		CacheEntries:      s.CacheEntries + other.CacheEntries,
+		Tier1Hits:         s.Tier1Hits + other.Tier1Hits,
+		Tier1Misses:       s.Tier1Misses + other.Tier1Misses,
+		CacheMaxEntries:   s.CacheMaxEntries + other.CacheMaxEntries,
+		CacheEvictions:    s.CacheEvictions + other.CacheEvictions,
+		CacheForcedMisses: s.CacheForcedMisses + other.CacheForcedMisses,
+		Panics:            s.Panics + other.Panics,
+		OrgsConsidered:    s.OrgsConsidered + other.OrgsConsidered,
+		OrgsPruned:        s.OrgsPruned + other.OrgsPruned,
+		OrgsBuilt:         s.OrgsBuilt + other.OrgsBuilt,
+		OrgsPrunedBound:   s.OrgsPrunedBound + other.OrgsPrunedBound,
+	}
 }
 
 // HitRatio returns the fraction of requests served without running

@@ -1,0 +1,154 @@
+package explore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"cactid/internal/core"
+)
+
+// TestStatsMergeSumsEveryField pins Merge to the full field set by
+// reflection: a Stats field added without a matching Merge line would
+// silently drop its counts in cluster aggregation.
+func TestStatsMergeSumsEveryField(t *testing.T) {
+	var a, b Stats
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		av.Field(i).SetInt(int64(i + 1))
+		bv.Field(i).SetInt(int64(2 * (i + 1)))
+	}
+	mv := reflect.ValueOf(a.Merge(b))
+	for i := 0; i < mv.NumField(); i++ {
+		if got, want := mv.Field(i).Int(), int64(3*(i+1)); got != want {
+			t.Errorf("Merge dropped field %s: got %d, want %d",
+				mv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestStatsMergeShardedConservation runs one sweep sharded across two
+// engines and checks the merged counters conserve work: every point
+// solved exactly once cluster-wide, none double-counted and none lost.
+func TestStatsMergeShardedConservation(t *testing.T) {
+	specs, _ := testGrid().Expand()
+	_, s1 := countingSolver(0)
+	_, s2 := countingSolver(0)
+	e1 := New(Options{Workers: 2, Solver: s1})
+	e2 := New(Options{Workers: 2, Solver: s2})
+
+	cut := len(specs) / 3
+	e1.Sweep(context.Background(), specs[:cut])
+	e2.Sweep(context.Background(), specs[cut:])
+
+	merged := e1.Stats().Merge(e2.Stats())
+	if merged.Solves != int64(len(specs)) {
+		t.Fatalf("merged Solves = %d, want %d", merged.Solves, len(specs))
+	}
+	if merged.CacheEntries != len(specs) {
+		t.Fatalf("merged CacheEntries = %d, want %d", merged.CacheEntries, len(specs))
+	}
+	if merged.CacheHits != 0 {
+		t.Fatalf("cold sharded sweep reported %d cache hits", merged.CacheHits)
+	}
+
+	// A single engine over the same specs does exactly the same total
+	// work — sharding must not change the cluster-wide solve count.
+	_, s3 := countingSolver(0)
+	e3 := New(Options{Workers: 2, Solver: s3})
+	e3.Sweep(context.Background(), specs)
+	if solo := e3.Stats(); solo.Solves != merged.Solves || solo.CacheEntries != merged.CacheEntries {
+		t.Fatalf("sharded merge %+v != single-engine %+v", merged, solo)
+	}
+}
+
+// syntheticResults builds a result set with heavy objective ties,
+// duplicate fingerprints, and errored points — the hard cases for
+// frontier maintenance.
+func syntheticResults(rng *rand.Rand, n int) []Result {
+	results := make([]Result, n)
+	for i := range results {
+		if rng.Intn(10) == 0 {
+			results[i] = Result{Index: i, Err: fmt.Errorf("synthetic failure %d", i)}
+			continue
+		}
+		if i > 0 && rng.Intn(5) == 0 {
+			// Duplicate design point: same fingerprint, same solution.
+			j := rng.Intn(i)
+			if results[j].Err == nil && results[j].Solution != nil {
+				results[i] = Result{Index: i, Fingerprint: results[j].Fingerprint,
+					Cached: true, Solution: results[j].Solution}
+				continue
+			}
+		}
+		obj := func() float64 { return float64(1 + rng.Intn(6)) }
+		results[i] = Result{Index: i, Fingerprint: fmt.Sprintf("fp-%d", i),
+			Solution: &core.Solution{AccessTime: obj(), EReadPerAccess: obj(),
+				LeakagePower: obj(), Area: obj()}}
+	}
+	return results
+}
+
+// TestFrontierMergerMatchesBatch feeds the streaming merger the same
+// results as the batch Frontier, in many arrival orders, and demands
+// the identical frontier every time — the property the fabric's
+// streaming Pareto merge rests on.
+func TestFrontierMergerMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 20; round++ {
+		results := syntheticResults(rng, 150)
+		want := Frontier(results)
+
+		order := rng.Perm(len(results))
+		m := NewFrontierMerger()
+		for _, i := range order {
+			m.Add(results[i])
+		}
+		got := m.Frontier()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round %d: streaming frontier (%d pts) != batch frontier (%d pts)",
+				round, len(got), len(want))
+		}
+	}
+}
+
+// TestSweepStreamDeliversEveryPointOnce checks the streaming sweep's
+// contract: one callback per point, serialized, with the same results
+// as the batch sweep, and a running FrontierMerger that lands on the
+// batch frontier.
+func TestSweepStreamDeliversEveryPointOnce(t *testing.T) {
+	specs, _ := testGrid().Expand()
+	_, solver := countingSolver(0)
+	e := New(Options{Workers: 4, Solver: solver})
+
+	seen := make(map[int]int)
+	m := NewFrontierMerger()
+	var inCallback sync.Mutex // trips -race if emit calls ever overlap
+	e.SweepStream(context.Background(), specs, func(r Result) {
+		if !inCallback.TryLock() {
+			t.Error("SweepStream emitted concurrently")
+			return
+		}
+		defer inCallback.Unlock()
+		seen[r.Index]++
+		m.Add(r)
+	})
+	if len(seen) != len(specs) {
+		t.Fatalf("stream delivered %d distinct points, want %d", len(seen), len(specs))
+	}
+	for i, n := range seen {
+		if n != 1 {
+			t.Fatalf("point %d delivered %d times", i, n)
+		}
+	}
+
+	_, solver2 := countingSolver(0)
+	batch := New(Options{Workers: 4, Solver: solver2}).Sweep(context.Background(), specs)
+	if want := Frontier(batch); !reflect.DeepEqual(frontierFingerprints(m.Frontier()), frontierFingerprints(want)) {
+		t.Fatalf("streamed frontier %v != batch frontier %v",
+			frontierFingerprints(m.Frontier()), frontierFingerprints(want))
+	}
+}

@@ -1,0 +1,65 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"cactid/internal/explore"
+)
+
+// BenchmarkSweepFabric measures distributed sweep throughput
+// (points/s) at 1, 2, and 4 workers over a 512-point grid, recorded
+// in BENCH_sweep.json and gated by cmd/benchcompare -file.
+//
+// Each in-process worker emulates a remote node: a single-threaded
+// engine whose solver takes a fixed benchLatency per point. This is
+// the regime the fabric exists for — the coordinator waits on remote
+// compute, not local CPU — and it is also the only honest way to
+// measure scaling on this repo's single-CPU CI host, where N CPU-bound
+// local workers cannot run faster than one. The coordinator's own
+// sharding, stealing, and merge overhead runs for real and is what
+// separates the measured speedup from the ideal N×.
+const (
+	benchPoints  = 512
+	benchLatency = 200 * time.Microsecond
+)
+
+func BenchmarkSweepFabric(b *testing.B) {
+	specs := fakeSpecs(benchPoints)
+	for _, n := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Fresh engines per iteration: a warm result cache
+				// would skip the emulated solve latency entirely.
+				b.StopTimer()
+				workers := make([]Worker, n)
+				for j := range workers {
+					_, solver := fakeSolver(benchLatency)
+					workers[j] = &EngineWorker{
+						WorkerName: fmt.Sprintf("node-%d", j),
+						Engine:     explore.New(explore.Options{Workers: 1, Solver: solver}),
+					}
+				}
+				co := New(Config{Workers: workers})
+				b.StartTimer()
+
+				results := co.Sweep(context.Background(), specs, nil)
+
+				b.StopTimer()
+				if len(results) != benchPoints {
+					b.Fatalf("got %d results for %d specs", len(results), benchPoints)
+				}
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+				co.Close()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(benchPoints)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+
+	"cactid/internal/array"
+	"cactid/internal/core"
+	"cactid/internal/explore"
+)
+
+// The wire format carries the API-visible projection of a sweep
+// result between a worker and the coordinator: the full core.Spec
+// (flat, all exported — JSON round-trips it exactly, including the
+// float constraints, since encoding/json emits shortest-round-trip
+// float64s), the solution's scalar metrics, and the data/tag
+// organizations as structs rather than pre-rendered strings. That is
+// everything explore.ResultJSON / explore.WriteCSV read, so a result
+// reconstructed from its wire form renders byte-identically to the
+// original — the property the fabric's "distributed == single-node"
+// guarantee rests on. Mat-level detail (timing components, electrical
+// parameters) stays on the worker that solved the point.
+
+// Error kinds let the coordinator keep errors.Is semantics across the
+// wire without shipping Go error chains.
+const (
+	errKindNoSolution = "no_solution"
+	errKindCanceled   = "canceled"
+	errKindDeadline   = "deadline"
+	errKindPanic      = "panic"
+	errKindOther      = "other"
+)
+
+// wireError reconstructs a worker-side error on the coordinator: the
+// exact message (so rendered output is byte-identical) plus an Is
+// bridge for the sentinel the kind names.
+type wireError struct {
+	msg  string
+	kind string
+}
+
+func (e *wireError) Error() string { return e.msg }
+
+func (e *wireError) Is(target error) bool {
+	switch e.kind {
+	case errKindNoSolution:
+		return target == core.ErrNoSolution
+	case errKindCanceled:
+		return target == context.Canceled
+	case errKindDeadline:
+		return target == context.DeadlineExceeded
+	case errKindPanic:
+		return target == explore.ErrSolverPanic
+	}
+	return false
+}
+
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, core.ErrNoSolution):
+		return errKindNoSolution
+	case errors.Is(err, context.Canceled):
+		return errKindCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return errKindDeadline
+	case errors.Is(err, explore.ErrSolverPanic):
+		return errKindPanic
+	}
+	return errKindOther
+}
+
+// WireSolution is the transportable projection of core.Solution.
+type WireSolution struct {
+	Spec core.Spec `json:"spec"`
+
+	AccessTime      float64 `json:"access_time_s"`
+	RandomCycle     float64 `json:"random_cycle_s"`
+	InterleaveCycle float64 `json:"interleave_cycle_s"`
+	Area            float64 `json:"area_m2"`
+	BankArea        float64 `json:"bank_area_m2"`
+	AreaEff         float64 `json:"area_efficiency"`
+	ERead           float64 `json:"read_energy_j"`
+	EWrite          float64 `json:"write_energy_j"`
+	Leakage         float64 `json:"leakage_w"`
+	Refresh         float64 `json:"refresh_w"`
+
+	DataOrg    array.Org  `json:"data_org"`
+	DataStages int        `json:"data_pipeline_stages"`
+	TagOrg     *array.Org `json:"tag_org,omitempty"`
+	TagStages  int        `json:"tag_pipeline_stages,omitempty"`
+}
+
+// WireResult is one evaluated point in transit.
+type WireResult struct {
+	Index       int           `json:"index"`
+	Spec        core.Spec     `json:"spec"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Cached      bool          `json:"cached,omitempty"`
+	Solution    *WireSolution `json:"solution,omitempty"`
+	Error       string        `json:"error,omitempty"`
+	ErrorKind   string        `json:"error_kind,omitempty"`
+}
+
+// BatchRequest is the wire=fabric body of POST /v1/solve-batch:
+// native core.Spec values, no lossy name round-trip through the
+// human-facing SpecRequest form.
+type BatchRequest struct {
+	Specs []core.Spec `json:"specs"`
+}
+
+// BatchResponse is the wire=fabric reply.
+type BatchResponse struct {
+	Results []WireResult `json:"results"`
+}
+
+// ToWire projects a sweep result into its transportable form.
+func ToWire(r explore.Result) WireResult {
+	w := WireResult{
+		Index:       r.Index,
+		Spec:        r.Spec,
+		Fingerprint: r.Fingerprint,
+		Cached:      r.Cached,
+	}
+	if r.Err != nil {
+		w.Error = r.Err.Error()
+		w.ErrorKind = errKind(r.Err)
+		return w
+	}
+	if s := r.Solution; s != nil {
+		ws := &WireSolution{
+			Spec:       s.Spec,
+			AccessTime: s.AccessTime, RandomCycle: s.RandomCycle,
+			InterleaveCycle: s.InterleaveCycle,
+			Area:            s.Area, BankArea: s.BankArea, AreaEff: s.AreaEff,
+			ERead: s.EReadPerAccess, EWrite: s.EWritePerAccess,
+			Leakage: s.LeakagePower, Refresh: s.RefreshPower,
+		}
+		if s.Data != nil {
+			ws.DataOrg, ws.DataStages = s.Data.Org, s.Data.PipelineStages
+		}
+		if s.Tag != nil {
+			org := s.Tag.Org
+			ws.TagOrg, ws.TagStages = &org, s.Tag.PipelineStages
+		}
+		w.Solution = ws
+	}
+	return w
+}
+
+// FromWire reconstructs a result the explore exporters render
+// byte-identically to the worker-side original. The rebuilt
+// core.Solution carries the API-visible fields only; Data/Tag are
+// organization-and-stages stubs.
+func FromWire(w WireResult) explore.Result {
+	r := explore.Result{
+		Index:       w.Index,
+		Spec:        w.Spec,
+		Fingerprint: w.Fingerprint,
+		Cached:      w.Cached,
+	}
+	if w.Error != "" {
+		r.Err = &wireError{msg: w.Error, kind: w.ErrorKind}
+		return r
+	}
+	if ws := w.Solution; ws != nil {
+		sol := &core.Solution{
+			Spec:       ws.Spec,
+			AccessTime: ws.AccessTime, RandomCycle: ws.RandomCycle,
+			InterleaveCycle: ws.InterleaveCycle,
+			Area:            ws.Area, BankArea: ws.BankArea, AreaEff: ws.AreaEff,
+			EReadPerAccess: ws.ERead, EWritePerAccess: ws.EWrite,
+			LeakagePower: ws.Leakage, RefreshPower: ws.Refresh,
+			Data: &array.Bank{Org: ws.DataOrg, PipelineStages: ws.DataStages},
+		}
+		if ws.TagOrg != nil {
+			sol.Tag = &array.Bank{Org: *ws.TagOrg, PipelineStages: ws.TagStages}
+		}
+		r.Solution = sol
+	}
+	return r
+}
+
+// canceled reports whether the wire result was cut off by the
+// worker's context rather than decided on the merits: such a point
+// says nothing about its spec and must be re-dispatched, never
+// recorded.
+func (w WireResult) canceled() bool {
+	return w.ErrorKind == errKindCanceled || w.ErrorKind == errKindDeadline
+}

@@ -1,0 +1,168 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cactid/internal/core"
+	"cactid/internal/explore"
+)
+
+// Worker is one solve executor the coordinator can dispatch chunks
+// to: a remote cactid-serve node over HTTP in production, or an
+// in-process engine in tests and benchmarks. Implementations must be
+// safe for concurrent use.
+type Worker interface {
+	// Name identifies the worker; it is the consistent-hash ring key,
+	// so it must be stable across coordinator restarts for the
+	// spec→owner mapping (and therefore worker cache warmth) to
+	// survive.
+	Name() string
+	// SolveBatch solves the specs and returns one result per spec, in
+	// input order. A returned error means transport-level failure —
+	// nothing was delivered and the chunk is safe to reroute; per-spec
+	// failures travel inside the results.
+	SolveBatch(ctx context.Context, specs []core.Spec) ([]WireResult, error)
+	// Healthy is the heartbeat probe.
+	Healthy(ctx context.Context) bool
+	// Stats returns the worker engine's counters, for cluster-wide
+	// aggregation via explore.Stats.Merge.
+	Stats(ctx context.Context) (explore.Stats, error)
+}
+
+// HTTPWorker drives a remote cactid-serve node through its existing
+// API: POST /v1/solve-batch?wire=fabric for chunks, GET /healthz for
+// heartbeats, GET /v1/stats for counters.
+type HTTPWorker struct {
+	// BaseURL is the node's root, e.g. "http://10.0.0.7:8080".
+	BaseURL string
+	// Client defaults to a client with a 2-minute timeout; dispatch
+	// contexts usually bound requests tighter.
+	Client *http.Client
+}
+
+// NewHTTPWorker normalizes the base URL (scheme added, trailing slash
+// trimmed) into a ready worker.
+func NewHTTPWorker(baseURL string) *HTTPWorker {
+	u := strings.TrimRight(strings.TrimSpace(baseURL), "/")
+	if u != "" && !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return &HTTPWorker{BaseURL: u}
+}
+
+func (w *HTTPWorker) Name() string { return w.BaseURL }
+
+func (w *HTTPWorker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return httpWorkerClient
+}
+
+// httpWorkerClient is shared across HTTPWorkers so connections are
+// pooled per remote node.
+var httpWorkerClient = &http.Client{Timeout: 2 * time.Minute}
+
+func (w *HTTPWorker) SolveBatch(ctx context.Context, specs []core.Spec) ([]WireResult, error) {
+	body, err := json.Marshal(BatchRequest{Specs: specs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.BaseURL+"/v1/solve-batch?wire=fabric", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("worker %s: %s: %s", w.BaseURL, resp.Status, bytes.TrimSpace(msg))
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("worker %s: decode: %w", w.BaseURL, err)
+	}
+	return out.Results, nil
+}
+
+func (w *HTTPWorker) Healthy(ctx context.Context) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.BaseURL+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 64))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func (w *HTTPWorker) Stats(ctx context.Context) (explore.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.BaseURL+"/v1/stats", nil)
+	if err != nil {
+		return explore.Stats{}, err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return explore.Stats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return explore.Stats{}, fmt.Errorf("worker %s: %s", w.BaseURL, resp.Status)
+	}
+	var st explore.Stats
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// EngineWorker adapts an in-process explore.Engine to the Worker
+// interface: the zero-transport worker used by tests, benchmarks, and
+// single-binary cluster emulation.
+type EngineWorker struct {
+	WorkerName string
+	Engine     *explore.Engine
+	// Fail, when set, simulates transport failure: SolveBatch returns
+	// its error without touching the engine (tests flip a worker dead
+	// mid-sweep this way).
+	Fail func() error
+}
+
+func (w *EngineWorker) Name() string { return w.WorkerName }
+
+func (w *EngineWorker) SolveBatch(ctx context.Context, specs []core.Spec) ([]WireResult, error) {
+	if w.Fail != nil {
+		if err := w.Fail(); err != nil {
+			return nil, err
+		}
+	}
+	results := w.Engine.Sweep(ctx, specs)
+	out := make([]WireResult, len(results))
+	for i, r := range results {
+		out[i] = ToWire(r)
+	}
+	return out, nil
+}
+
+func (w *EngineWorker) Healthy(_ context.Context) bool {
+	if w.Fail != nil && w.Fail() != nil {
+		return false
+	}
+	return true
+}
+
+func (w *EngineWorker) Stats(_ context.Context) (explore.Stats, error) {
+	return w.Engine.Stats(), nil
+}

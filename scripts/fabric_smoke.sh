@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# fabric_smoke.sh — loopback cluster smoke test for the sweep fabric.
+#
+# Builds cactid-serve, starts two worker nodes and a coordinator on
+# 127.0.0.1 (plus a plain single-node reference server), runs a real
+# 32-point sweep through the coordinator, and asserts:
+#
+#   1. the distributed sweep body is byte-identical to the single-node
+#      sweep of the same grid;
+#   2. /v1/fabric reports both workers healthy and zero duplicate
+#      deliveries;
+#   3. the coordinator's /metrics carries the fabric block.
+#
+# Artifacts (sweep bodies, /v1/fabric, /metrics) land in
+# $FABRIC_SMOKE_DIR (default: a fresh mktemp -d) for CI upload.
+# Used by `make fabric-smoke` and the ci.yml cluster job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${FABRIC_SMOKE_DIR:-$(mktemp -d)}"
+mkdir -p "$OUT"
+BIN="$OUT/cactid-serve"
+go build -o "$BIN" ./cmd/cactid-serve
+
+pids=()
+cleanup() {
+    kill "${pids[@]}" 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$BIN" -addr 127.0.0.1:18081 &
+pids+=($!)
+"$BIN" -addr 127.0.0.1:18082 &
+pids+=($!)
+"$BIN" -addr 127.0.0.1:18083 & # plain single-node reference
+pids+=($!)
+"$BIN" -addr 127.0.0.1:18080 -coordinator \
+    -worker-nodes http://127.0.0.1:18081,http://127.0.0.1:18082 &
+pids+=($!)
+
+wait_up() {
+    for _ in $(seq 1 50); do
+        curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    echo "fabric-smoke: $1 never became healthy" >&2
+    return 1
+}
+for port in 18080 18081 18082 18083; do wait_up "127.0.0.1:$port"; done
+
+GRID='{"base":{"ram":"sram","node_nm":32,"block_bytes":64},
+  "capacities":["32KB","64KB","128KB","256KB"],
+  "associativities":[1,2,4,8],
+  "modes":["normal","seq"]}'
+
+curl -sf http://127.0.0.1:18080/v1/sweep -d "$GRID" >"$OUT/sweep-cluster.json"
+curl -sf http://127.0.0.1:18083/v1/sweep -d "$GRID" >"$OUT/sweep-single.json"
+if ! cmp -s "$OUT/sweep-cluster.json" "$OUT/sweep-single.json"; then
+    echo "fabric-smoke: distributed sweep differs from single-node" >&2
+    exit 1
+fi
+
+curl -sf http://127.0.0.1:18080/v1/fabric >"$OUT/fabric.json"
+curl -sf http://127.0.0.1:18080/metrics >"$OUT/metrics.json"
+grep -Eq '"healthy_workers": ?2' "$OUT/fabric.json" || {
+    echo "fabric-smoke: expected 2 healthy workers; see $OUT/fabric.json" >&2
+    exit 1
+}
+grep -Eq '"duplicate_results": ?0' "$OUT/fabric.json" || {
+    echo "fabric-smoke: duplicate deliveries recorded; see $OUT/fabric.json" >&2
+    exit 1
+}
+grep -q '"fabric"' "$OUT/metrics.json" || {
+    echo "fabric-smoke: coordinator /metrics lacks the fabric block" >&2
+    exit 1
+}
+
+echo "fabric-smoke: OK — 32-point sweep byte-identical across 2 workers (artifacts in $OUT)"
