@@ -9,7 +9,7 @@
 # only, see .github/workflows/ci.yml).
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: verify build test vet lint race stress fuzz vulncheck bench bench-sweep bench-compare bench-fabric fabric-test fabric-smoke
+.PHONY: verify build test vet lint lint-new lint-digests race stress fuzz vulncheck bench bench-sweep bench-compare bench-fabric fabric-test fabric-smoke
 
 verify: vet lint build test race
 
@@ -22,11 +22,27 @@ test:
 vet:
 	go vet ./...
 
-# lint runs the in-repo analyzer suite: floatdet, ctxflow, lockguard,
-# unitname (see internal/analysis and DESIGN.md §1.3). It needs no
-# network: the suite is built from this module's own source.
+# lint runs the in-repo analyzer suite: the per-function checks
+# (floatdet, ctxflow, lockguard, unitname) plus the interprocedural
+# distributed-surface suite (detpure, wirecompat, atomicmix,
+# httpclose, chaoscover) — see internal/analysis and DESIGN.md §1.3.
+# It needs no network: the suite is built from this module's own
+# source.
 lint:
 	go run ./cmd/cactid-lint ./...
+
+# lint-new runs only the interprocedural suite — the fast loop while
+# iterating on the distributed surface.
+lint-new:
+	go run ./cmd/cactid-lint -run detpure,wirecompat,atomicmix,httpclose,chaoscover ./...
+
+# lint-digests proves the wirecompat golden digest file is fresh:
+# regenerate it in place and fail if the checked-in copy differs.
+# (Regeneration refuses while internal/core/version.go is dirty; see
+# cmd/cactid-lint.)
+lint-digests:
+	go run ./cmd/cactid-lint -fix-digests ./...
+	git diff --exit-code -- internal/analysis/wiredigest.json
 
 race:
 	go test -race ./...

@@ -36,7 +36,8 @@ import (
 	"strings"
 )
 
-// Analyzer is one static check.
+// Analyzer is one static check. Exactly one of Run (package-level)
+// and RunProgram (interprocedural/whole-program) is set.
 type Analyzer struct {
 	// Name is the identifier used on the command line and in
 	// //lint:ignore suppressions.
@@ -45,6 +46,14 @@ type Analyzer struct {
 	Doc string
 	// Run reports diagnostics for one package through pass.Report.
 	Run func(pass *Pass) error
+	// RunProgram reports diagnostics over the whole program (all
+	// loaded packages, shared FileSet, call graph) through
+	// pass.Report. Program-level analyzers see every package at once:
+	// detpure walks call-graph reachability across package
+	// boundaries, wirecompat closes over serialized types wherever
+	// they are declared, chaoscover cross-references test files
+	// against another package's constants.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -64,6 +73,25 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 		Analyzer: p.Analyzer.Name,
 		Pos:      pos,
 		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ProgramPass carries one program-level analyzer's view of the whole
+// loaded program.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Report records a diagnostic.
+func (p *ProgramPass) Report(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Position: p.Prog.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
@@ -100,6 +128,9 @@ type suppression struct {
 func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
+		if a.Run == nil {
+			continue
+		}
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -112,8 +143,63 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
 		}
 	}
-
 	sups, bad := collectSuppressions(pkg.Fset, pkg.Files)
+	return finish(pkg.Fset, diags, sups, bad, analyzers), nil
+}
+
+// RunProgram applies the full analyzer set — package-level analyzers
+// per package, program-level analyzers once over the whole program —
+// and returns the surviving diagnostics sorted by position.
+// Suppressions are collected program-wide (source and test files), so
+// a //lint:ignore next to a finding works identically for both
+// analyzer kinds, and unused suppressions are judged against every
+// analyzer that actually ran.
+func RunProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		switch {
+		case a.RunProgram != nil:
+			pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &diags}
+			if err := a.RunProgram(pass); err != nil {
+				return nil, fmt.Errorf("%s: %w", a.Name, err)
+			}
+		case a.Run != nil:
+			for _, pkg := range prog.Pkgs {
+				pass := &Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Files,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.Info,
+					diags:     &diags,
+				}
+				if err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+				}
+			}
+		}
+	}
+	var sups []*suppression
+	var bad []Diagnostic
+	for _, pkg := range prog.Pkgs {
+		files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+		s, b := collectSuppressions(pkg.Fset, files)
+		sups = append(sups, s...)
+		bad = append(bad, b...)
+	}
+	return finish(prog.Fset, diags, sups, bad, analyzers), nil
+}
+
+// finish applies suppressions to diags, reports malformed and unused
+// ones, and sorts. A suppression counts as unused only when its
+// analyzer actually ran (or is "all"): running a subset — cactid-lint
+// -run, make lint-new — must not flag the other analyzers'
+// legitimate suppressions.
+func finish(fset *token.FileSet, diags []Diagnostic, sups []*suppression, bad []Diagnostic, analyzers []*Analyzer) []Diagnostic {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	kept := diags[:0]
 	for _, d := range diags {
 		if !suppress(sups, d) {
@@ -123,11 +209,11 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	diags = kept
 	diags = append(diags, bad...)
 	for _, s := range sups {
-		if !s.used {
+		if !s.used && (ran[s.analyzer] || s.analyzer == "all") {
 			diags = append(diags, Diagnostic{
 				Analyzer: "lint",
 				Pos:      s.pos,
-				Position: pkg.Fset.Position(s.pos),
+				Position: fset.Position(s.pos),
 				Message:  fmt.Sprintf("//lint:ignore %s suppresses nothing on this or the next line", s.analyzer),
 			})
 		}
@@ -138,7 +224,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags
 }
 
 // collectSuppressions parses every //lint:ignore comment, returning
@@ -197,7 +283,16 @@ func suppress(sups []*suppression, d Diagnostic) bool {
 	return false
 }
 
-// All returns the full analyzer suite in stable order.
+// All returns the full analyzer suite in stable order: the PR-4
+// per-function checks first, then the interprocedural/program-level
+// suite guarding the distributed surface.
 func All() []*Analyzer {
-	return []*Analyzer{FloatDet, CtxFlow, LockGuard, UnitName}
+	return []*Analyzer{FloatDet, CtxFlow, LockGuard, UnitName,
+		DetPure, WireCompat, AtomicMix, HTTPClose, ChaosCover}
+}
+
+// NewSuite returns only the analyzers added for the distributed
+// surface (PR 9) — the set `make lint-new` iterates on.
+func NewSuite() []*Analyzer {
+	return []*Analyzer{DetPure, WireCompat, AtomicMix, HTTPClose, ChaosCover}
 }

@@ -1,25 +1,80 @@
 package analysis
 
-import "testing"
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestFloatDet(t *testing.T)  { runFixture(t, FloatDet, "floatdet.go") }
 func TestCtxFlow(t *testing.T)   { runFixture(t, CtxFlow, "ctxflow.go") }
 func TestLockGuard(t *testing.T) { runFixture(t, LockGuard, "lockguard.go") }
 func TestUnitName(t *testing.T)  { runFixture(t, UnitName, "unitname.go") }
+func TestHTTPClose(t *testing.T) { runFixture(t, HTTPClose, "httpclose.go") }
+
+func TestDetPure(t *testing.T)    { runProgramFixture(t, DetPure, "detpure") }
+func TestAtomicMix(t *testing.T)  { runProgramFixture(t, AtomicMix, "atomicmix") }
+func TestChaosCover(t *testing.T) { runProgramFixture(t, ChaosCover, "chaoscover") }
+func TestWireCompatDrift(t *testing.T) {
+	runProgramFixture(t, WireCompat, "wirecompat_drift")
+}
+
+// TestWireCompatRoundTrip proves the digest lifecycle: a golden
+// written by WriteWireDigests (the -fix-digests implementation) makes
+// the analyzer come back clean on the same program.
+func TestWireCompatRoundTrip(t *testing.T) {
+	prog := loadFixtureProgram(t, "wirecompat_ok")
+	prog.WireDigestFile = filepath.Join(t.TempDir(), "wiredigest.json")
+	if _, err := WriteWireDigests(prog); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunProgram(prog, []*Analyzer{WireCompat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic after round trip: %s", d)
+	}
+}
+
+// TestWireCompatMissingGolden: with no golden on disk the analyzer
+// points at -fix-digests instead of guessing.
+func TestWireCompatMissingGolden(t *testing.T) {
+	prog := loadFixtureProgram(t, "wirecompat_ok")
+	prog.WireDigestFile = filepath.Join(t.TempDir(), "absent.json")
+	diags, err := RunProgram(prog, []*Analyzer{WireCompat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unreadable") {
+		t.Fatalf("want exactly one 'unreadable' finding, got %v", diags)
+	}
+}
 
 func TestAllRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 4 {
-		t.Fatalf("expected 4 analyzers, got %d", len(all))
+	if len(all) != 9 {
+		t.Fatalf("expected 9 analyzers, got %d", len(all))
 	}
 	seen := map[string]bool{}
 	for _, a := range all {
-		if a.Name == "" || a.Doc == "" || a.Run == nil {
+		if a.Name == "" || a.Doc == "" {
 			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if (a.Run == nil) == (a.RunProgram == nil) {
+			t.Errorf("analyzer %s must set exactly one of Run and RunProgram", a.Name)
 		}
 		if seen[a.Name] {
 			t.Errorf("duplicate analyzer name %s", a.Name)
 		}
 		seen[a.Name] = true
+	}
+	for _, a := range NewSuite() {
+		if !seen[a.Name] {
+			t.Errorf("NewSuite analyzer %s missing from All()", a.Name)
+		}
+	}
+	if len(NewSuite()) != 5 {
+		t.Errorf("expected 5 analyzers in NewSuite, got %d", len(NewSuite()))
 	}
 }

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix enforces all-or-nothing atomicity per field: a struct
+// field that is ever accessed through sync/atomic (atomic.AddInt64,
+// atomic.LoadUint32, ... on its address) must never also be plainly
+// read or written. A mixed field is a data race the race detector
+// only catches when a test happens to interleave the two access
+// paths; the analyzer catches it on every path, every build.
+//
+// Fields of the type-safe wrappers (atomic.Int64, atomic.Bool, ...)
+// cannot be mixed — the type system already forbids plain access —
+// so this analyzer is about the address-based legacy API only.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "a field accessed through sync/atomic must never be plainly loaded or stored elsewhere",
+	RunProgram: runAtomicMix,
+}
+
+// atomicFns are the sync/atomic functions whose first argument is the
+// address of the accessed word.
+var atomicFns = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicMix(pass *ProgramPass) error {
+	// Fields are identified per package universe (*types.Var object
+	// identity): the address-based atomic API is only usable where
+	// the field is addressable, which for the unexported counters this
+	// repo uses means the declaring package itself.
+	for _, pkg := range pass.Prog.Pkgs {
+		runAtomicMixPackage(pass, pkg)
+	}
+	return nil
+}
+
+type plainAccess struct {
+	pos   token.Pos
+	write bool
+}
+
+func runAtomicMixPackage(pass *ProgramPass, pkg *Package) {
+	info := pkg.Info
+	atomicFields := map[*types.Var]token.Pos{} // field -> first atomic access
+	plain := map[*types.Var][]plainAccess{}
+
+	// blessed marks selector expressions consumed by an atomic call
+	// (the &x.f argument) so the plain-access pass skips them.
+	blessed := map[*ast.SelectorExpr]bool{}
+
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !atomicFns[sel.Sel.Name] {
+				return true
+			}
+			obj := info.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if f := addrOfField(info, call.Args[0]); f != nil {
+				if _, seen := atomicFields[f]; !seen {
+					atomicFields[f] = call.Args[0].Pos()
+				}
+				if fs, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr); ok {
+					if s, ok := ast.Unparen(fs.X).(*ast.SelectorExpr); ok {
+						blessed[s] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	for _, file := range pkg.Files {
+		// The write/read distinction needs parents; track assignment
+		// contexts with a small stack walk.
+		var visit func(n ast.Node, writeTargets map[ast.Expr]bool)
+		visit = func(n ast.Node, writeTargets map[ast.Expr]bool) {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch e := m.(type) {
+				case *ast.AssignStmt:
+					wt := map[ast.Expr]bool{}
+					for _, lhs := range e.Lhs {
+						wt[ast.Unparen(lhs)] = true
+					}
+					for _, lhs := range e.Lhs {
+						visit(lhs, wt)
+					}
+					for _, rhs := range e.Rhs {
+						visit(rhs, nil)
+					}
+					return false
+				case *ast.IncDecStmt:
+					visit(e.X, map[ast.Expr]bool{ast.Unparen(e.X): true})
+					return false
+				case *ast.SelectorExpr:
+					if blessed[e] {
+						return false
+					}
+					if f, ok := info.Uses[e.Sel].(*types.Var); ok && f.IsField() {
+						if _, isAtomic := atomicFields[f]; isAtomic {
+							plain[f] = append(plain[f], plainAccess{pos: e.Pos(), write: writeTargets[e]})
+						}
+					}
+					// Still descend into e.X (x.a.b chains).
+					visit(e.X, nil)
+					return false
+				}
+				return true
+			})
+		}
+		visit(file, nil)
+	}
+
+	fields := make([]*types.Var, 0, len(plain))
+	for f := range plain {
+		fields = append(fields, f)
+	}
+	sort.Slice(fields, func(i, j int) bool { return fields[i].Pos() < fields[j].Pos() })
+	for _, f := range fields {
+		accs := plain[f]
+		sort.Slice(accs, func(i, j int) bool { return accs[i].pos < accs[j].pos })
+		for _, a := range accs {
+			kind := "read"
+			if a.write {
+				kind = "written"
+			}
+			pass.Report(a.pos, "field %s is accessed through sync/atomic (first at %s) but plainly %s here: every access to an atomic word must go through sync/atomic",
+				f.Name(), pkg.Fset.Position(atomicFields[f]), kind)
+		}
+	}
+}
+
+// addrOfField unwraps &x.f (possibly parenthesized) to the field's
+// *types.Var, or nil.
+func addrOfField(info *types.Info, arg ast.Expr) *types.Var {
+	u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || u.Op != token.AND {
+		return nil
+	}
+	sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	f, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !f.IsField() {
+		return nil
+	}
+	return f
+}

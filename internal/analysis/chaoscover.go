@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChaosCover closes the loop between the chaos catalog and the test
+// suite: every chaos.Point constant declared in the package named
+// "chaos" must be referenced by at least one _test.go file somewhere
+// in the program. An injection point nobody arms is an instrumented
+// failure path that ships untested — exactly the blind spot the PR-5
+// chaos layer exists to eliminate, and one that silently reopens
+// every time a new point is added without a matching test.
+//
+// Test files are matched syntactically (the loader parses them
+// without type-checking): a reference is any identifier with the
+// constant's name, package-qualified or bare. Point names are
+// distinctive enough (ExploreWorker, FabricDispatch, ...) that name
+// collisions are not a practical concern — and a collision errs
+// toward silence, never toward a false finding.
+var ChaosCover = &Analyzer{
+	Name:       "chaoscover",
+	Doc:        "every chaos.Point constant must be armed (referenced) by at least one test in the repo",
+	RunProgram: runChaosCover,
+}
+
+func runChaosCover(pass *ProgramPass) error {
+	chaosPkg := pass.Prog.PackageNamed("chaos")
+	if chaosPkg == nil {
+		return nil
+	}
+
+	// Collect the Point constants in declaration order.
+	type pointConst struct {
+		name string
+		pos  token.Pos
+	}
+	var points []pointConst
+	for _, file := range chaosPkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj, _ := chaosPkg.Info.Defs[name].(*types.Const)
+					if obj == nil {
+						continue
+					}
+					if named, ok := obj.Type().(*types.Named); ok && named.Obj().Name() == "Point" {
+						points = append(points, pointConst{name: name.Name, pos: name.Pos()})
+					}
+				}
+			}
+			return false
+		})
+	}
+	if len(points) == 0 {
+		return nil
+	}
+
+	// Collect every identifier mentioned in any test file.
+	testIdents := map[string]bool{}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.TestFiles {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					testIdents[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+
+	sort.Slice(points, func(i, j int) bool { return points[i].pos < points[j].pos })
+	for _, p := range points {
+		if !testIdents[p.name] {
+			pass.Report(p.pos, "chaos point %s is not armed by any test in the repo: its instrumented failure path ships unexercised — add a test that injects it (or suppress with a reason)", p.name)
+		}
+	}
+	return nil
+}

@@ -7,8 +7,10 @@ import (
 	"go/parser"
 	"go/token"
 	"go/types"
+	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -78,6 +80,160 @@ func runFixture(t *testing.T, a *Analyzer, filename string) {
 		for _, w := range ws {
 			if w != "" {
 				t.Errorf("%s:%d: no diagnostic matched want %q", filename, line, w)
+			}
+		}
+	}
+}
+
+// loadFixtureProgram builds a Program from testdata/<dir>: each
+// subdirectory is one package with import path "fixture/<dir>/<sub>",
+// _test.go files are parsed (with comments) but not type-checked —
+// mirroring the real loader — and a wiredigest.json at the fixture
+// root becomes the program's golden digest file. Fixture packages may
+// import each other; type-checking retries until the dependency order
+// resolves.
+func loadFixtureProgram(t *testing.T, dir string) *Program {
+	t.Helper()
+	root := filepath.Join("testdata", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("read fixture dir %s: %v", root, err)
+	}
+
+	type rawPkg struct {
+		path  string
+		files []*ast.File
+		tests []*ast.File
+	}
+	var raws []*rawPkg
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub := filepath.Join(root, e.Name())
+		fis, err := os.ReadDir(sub)
+		if err != nil {
+			t.Fatalf("read %s: %v", sub, err)
+		}
+		rp := &rawPkg{path: "fixture/" + dir + "/" + e.Name()}
+		for _, fi := range fis {
+			if !strings.HasSuffix(fi.Name(), ".go") {
+				continue
+			}
+			path := filepath.Join(sub, fi.Name())
+			f, err := parser.ParseFile(fixtureFset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			if strings.HasSuffix(fi.Name(), "_test.go") {
+				rp.tests = append(rp.tests, f)
+			} else {
+				rp.files = append(rp.files, f)
+			}
+		}
+		if len(rp.files) > 0 || len(rp.tests) > 0 {
+			raws = append(raws, rp)
+		}
+	}
+
+	checked := map[string]*types.Package{}
+	imp := &fixtureProgImporter{checked: checked}
+	var pkgs []*Package
+	pending := raws
+	for len(pending) > 0 {
+		var next []*rawPkg
+		var firstErr error
+		for _, rp := range pending {
+			info := NewInfo()
+			conf := types.Config{Importer: imp}
+			tpkg, err := conf.Check(rp.path, fixtureFset, rp.files, info)
+			if err != nil {
+				firstErr = fmt.Errorf("typecheck %s: %w", rp.path, err)
+				next = append(next, rp)
+				continue
+			}
+			checked[rp.path] = tpkg
+			pkgs = append(pkgs, &Package{
+				ImportPath: rp.path,
+				Fset:       fixtureFset,
+				Files:      rp.files,
+				TestFiles:  rp.tests,
+				Types:      tpkg,
+				Info:       info,
+			})
+		}
+		if len(next) == len(pending) {
+			t.Fatal(firstErr)
+		}
+		pending = next
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+
+	prog := &Program{Dir: root, Fset: fixtureFset, Pkgs: pkgs}
+	if golden := filepath.Join(root, "wiredigest.json"); fileExists(golden) {
+		prog.WireDigestFile = golden
+	}
+	prog.CallGraph = BuildCallGraph(prog)
+	return prog
+}
+
+// fixtureProgImporter resolves already-checked fixture packages by
+// import path and delegates everything else (the stdlib) to the
+// source importer.
+type fixtureProgImporter struct {
+	checked map[string]*types.Package
+}
+
+func (i *fixtureProgImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.checked[path]; ok {
+		return p, nil
+	}
+	return fixtureImp().Import(path)
+}
+
+func fileExists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}
+
+// runProgramFixture applies one analyzer to a fixture program and
+// compares diagnostics (after suppression filtering) with want
+// comments across every file, source and test alike.
+func runProgramFixture(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	prog := loadFixtureProgram(t, dir)
+	diags, err := RunProgram(prog, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	wants := map[string]map[int][]string{}
+	for _, pkg := range prog.Pkgs {
+		for _, f := range append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...) {
+			name := fixtureFset.Position(f.Pos()).Filename
+			wants[name] = fixtureWants(t, f)
+		}
+	}
+	for _, d := range diags {
+		ws := wants[d.Position.Filename][d.Position.Line]
+		matched := false
+		for i, w := range ws {
+			if w != "" && strings.Contains(d.Message, w) {
+				ws[i] = ""
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", d.Position.Filename, d.Position.Line, d.Message)
+		}
+	}
+	for name, byLine := range wants {
+		for line, ws := range byLine {
+			for _, w := range ws {
+				if w != "" {
+					t.Errorf("%s:%d: no diagnostic matched want %q", name, line, w)
+				}
 			}
 		}
 	}

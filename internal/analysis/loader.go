@@ -23,20 +23,29 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+	// TestFiles are the package's _test.go files (in-package and
+	// external), parsed but NOT type-checked: program-level analyzers
+	// that only need syntax (chaoscover's "is this chaos point armed
+	// by any test" cross-reference) read them without dragging test
+	// dependencies into the type-check.
+	TestFiles []*ast.File
 }
 
 // listedPackage is the subset of `go list -json` output the loader
 // consumes.
 type listedPackage struct {
-	ImportPath string
-	Dir        string
-	Name       string
-	Export     string
-	GoFiles    []string
-	DepOnly    bool
-	Standard   bool
-	Incomplete bool
-	Error      *struct{ Err string }
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	DepOnly      bool
+	Standard     bool
+	Incomplete   bool
+	Error        *struct{ Err string }
+	Module       *struct{ Dir string }
 }
 
 // Load lists, parses and type-checks the packages matching patterns
@@ -46,6 +55,34 @@ type listedPackage struct {
 // third-party modules — the whole point, given that this repository
 // pins zero dependencies.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	pkgs, _, err := load(dir, patterns...)
+	return pkgs, err
+}
+
+// LoadProgram loads the packages matching patterns and assembles them
+// into a Program: the whole-program view (shared FileSet, parsed test
+// files, module root, package-level call graph) that interprocedural
+// analyzers consume.
+func LoadProgram(dir string, patterns ...string) (*Program, error) {
+	pkgs, moduleDir, err := load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	if moduleDir == "" {
+		moduleDir = dir
+	}
+	prog := &Program{
+		Dir:  moduleDir,
+		Pkgs: pkgs,
+	}
+	if len(pkgs) > 0 {
+		prog.Fset = pkgs[0].Fset
+	}
+	prog.CallGraph = BuildCallGraph(prog)
+	return prog, nil
+}
+
+func load(dir string, patterns ...string) ([]*Package, string, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -56,21 +93,22 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		return nil, "", fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
 	}
 
 	exports := map[string]string{} // import path -> export data file
 	var targets []*listedPackage
+	moduleDir := ""
 	dec := json.NewDecoder(&stdout)
 	for {
 		var p listedPackage
 		if err := dec.Decode(&p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding: %v", err)
+			return nil, "", fmt.Errorf("go list: decoding: %v", err)
 		}
 		if p.Error != nil {
-			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			return nil, "", fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
 		}
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
@@ -78,6 +116,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if !p.DepOnly && !p.Standard && p.Name != "" {
 			q := p
 			targets = append(targets, &q)
+			if moduleDir == "" && p.Module != nil {
+				moduleDir = p.Module.Dir
+			}
 		}
 	}
 
@@ -94,14 +135,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	for _, t := range targets {
 		pkg, err := check(fset, imp, t)
 		if err != nil {
-			return nil, err
+			return nil, "", err
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	return pkgs, nil
+	return pkgs, moduleDir, nil
 }
 
-// check parses and type-checks one listed package from source.
+// check parses and type-checks one listed package from source. Test
+// files are parsed (for syntax-only analyzers) but not type-checked.
 func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package, error) {
 	files := make([]*ast.File, 0, len(lp.GoFiles))
 	for _, name := range lp.GoFiles {
@@ -110,6 +152,14 @@ func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package
 			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
 		}
 		files = append(files, f)
+	}
+	var testFiles []*ast.File
+	for _, name := range append(append([]string{}, lp.TestGoFiles...), lp.XTestGoFiles...) {
+		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		testFiles = append(testFiles, f)
 	}
 	info := NewInfo()
 	conf := types.Config{Importer: imp}
@@ -124,6 +174,7 @@ func check(fset *token.FileSet, imp types.Importer, lp *listedPackage) (*Package
 		Files:      files,
 		Types:      tpkg,
 		Info:       info,
+		TestFiles:  testFiles,
 	}, nil
 }
 

@@ -1,0 +1,37 @@
+// Package counter exercises atomicmix: one field mixing atomic and
+// plain access (the race), one consistently plain, one consistently
+// atomic, and one deliberate suppression.
+package counter
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	total int64
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() int64 {
+	return s.hits // want "plainly read here"
+}
+
+func (s *stats) reset() {
+	s.hits = 0 // want "plainly written here"
+	s.total = 0
+}
+
+func (s *stats) snapshotOK() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) bump() {
+	s.total++
+}
+
+func (s *stats) seed(n int64) {
+	//lint:ignore atomicmix fixture: runs before the struct is shared with any goroutine
+	s.hits = n
+}

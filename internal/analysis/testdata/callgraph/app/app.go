@@ -1,0 +1,45 @@
+// Package app is the caller side of the call-graph fixture: interface
+// dispatch, method values, and func-value calls across the package
+// boundary.
+package app
+
+import "fixture/callgraph/shapes"
+
+// Total dispatches through the Shape interface: conservatively, every
+// Area() float64 implementation is a possible callee.
+func Total(ss []shapes.Shape) float64 {
+	var t float64
+	for _, s := range ss {
+		t += s.Area()
+	}
+	return t
+}
+
+// MethodValue takes a bound method value and calls it.
+func MethodValue() float64 {
+	c := shapes.Circle{R: 1}
+	f := c.Area
+	return f()
+}
+
+// TakeHelper makes shapes.Helper address-taken (and directly called,
+// per the conservative value-taken edge).
+func TakeHelper() func() int {
+	return shapes.Helper
+}
+
+// TakeFloat makes shapes.FloatFn address-taken with a signature no
+// func-value call site in this fixture shares.
+func TakeFloat() func() float32 {
+	return shapes.FloatFn
+}
+
+// CallValue calls through a func value: it must reach every
+// address-taken function with the matching canonical signature —
+// shapes.Helper — and nothing else.
+func CallValue(g func() int) int {
+	return g()
+}
+
+// Isolated calls nothing and is called by nothing.
+func Isolated() {}

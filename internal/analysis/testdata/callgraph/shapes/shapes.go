@@ -1,0 +1,33 @@
+// Package shapes is the callee side of the call-graph fixture:
+// interface implementations, a same-name method with a different
+// signature, and functions that are (and are not) address-taken.
+package shapes
+
+// Shape is the dispatch interface.
+type Shape interface {
+	Area() float64
+}
+
+type Circle struct{ R float64 }
+
+func (c Circle) Area() float64 { return 3 * c.R * c.R }
+
+type Square struct{ S float64 }
+
+func (s Square) Area() float64 { return s.S * s.S }
+
+// Labeled has a method named Area with a different signature: the
+// canonical-signature filter must keep it out of Shape dispatch.
+type Labeled struct{ N string }
+
+func (l Labeled) Area(scale float64) float64 { return scale }
+
+// Helper is address-taken by app.TakeHelper.
+func Helper() int { return 1 }
+
+// Unrelated shares Helper's signature but is never address-taken: a
+// func-value call must not reach it.
+func Unrelated() int { return 2 }
+
+// FloatFn is address-taken but with a different signature.
+func FloatFn() float32 { return 3 }

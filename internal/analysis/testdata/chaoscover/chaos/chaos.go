@@ -1,0 +1,17 @@
+// Package chaos mirrors the real injection-point catalog: chaoscover
+// must see which Point constants the test files arm.
+package chaos
+
+// Point identifies one injection site.
+type Point string
+
+const (
+	Armed   Point = "explore.worker"
+	Unarmed Point = "fabric.dispatch" // want "chaos point Unarmed is not armed by any test"
+	//lint:ignore chaoscover fixture: armed by an external harness the loader cannot see
+	External Point = "external.probe"
+)
+
+// NotAPoint is a plain string constant: same package, different type,
+// never a finding.
+const NotAPoint = "not.a.point"

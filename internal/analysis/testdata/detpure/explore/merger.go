@@ -1,0 +1,16 @@
+// Package explore mirrors the real frontier merger: FrontierMerger
+// methods are cone roots (the distributed == single-node guarantee
+// rests on their determinism).
+package explore
+
+import "math/rand"
+
+// FrontierMerger is the fixture stand-in for the streaming merger.
+type FrontierMerger struct {
+	jitter float64
+}
+
+// Push is a root by receiver-type match.
+func (m *FrontierMerger) Push(v float64) {
+	m.jitter = v + rand.Float64() // want "math/rand use in fixture/detpure/explore.FrontierMerger.Push"
+}

@@ -1,0 +1,17 @@
+// Package impl has no roots of its own: everything here is in the
+// cone purely because the cross-package call graph says so.
+package impl
+
+import "math/rand"
+
+// Helper is called from core.Explore.
+func Helper() string {
+	return pick()
+}
+
+// pick is two edges from the root; the witness in the finding proves
+// the reachability chain.
+func pick() string {
+	words := []string{"a", "b"}
+	return words[rand.Intn(len(words))] // want "math/rand use in fixture/detpure/impl.pick (reachable from fixture/detpure/core.Explore)"
+}

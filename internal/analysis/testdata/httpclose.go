@@ -1,0 +1,68 @@
+// Fixture for httpclose: unclosed response bodies, escaping
+// responses (assumed closed elsewhere), and dropped CancelFuncs.
+package fixture
+
+import (
+	"context"
+	"io"
+	"net/http"
+)
+
+func leak(c *http.Client, req *http.Request) (int, error) {
+	resp, err := c.Do(req) // want "never closed"
+	if err != nil {
+		return 0, err
+	}
+	return resp.StatusCode, nil
+}
+
+func closed(c *http.Client, req *http.Request) ([]byte, error) {
+	resp, err := c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+func escapesVar(c *http.Client, req *http.Request) (*http.Response, error) {
+	resp, err := c.Do(req)
+	return resp, err
+}
+
+func handedOff(c *http.Client, req *http.Request, sink func(*http.Response)) error {
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	sink(resp)
+	return nil
+}
+
+func inClosure(c *http.Client, req *http.Request) func() error {
+	return func() error {
+		resp, err := c.Do(req) // want "never closed"
+		if err != nil {
+			return err
+		}
+		_ = resp.Status
+		return nil
+	}
+}
+
+func dropsCancel(ctx context.Context) context.Context {
+	ctx2, _ := context.WithCancel(ctx) // want "CancelFunc discarded"
+	return ctx2
+}
+
+func keepsCancel(ctx context.Context) {
+	ctx2, cancel := context.WithCancel(ctx)
+	defer cancel()
+	_ = ctx2
+}
+
+func suppressedDrop(ctx context.Context) context.Context {
+	//lint:ignore httpclose fixture: cancellation owned by the caller's context tree
+	ctx2, _ := context.WithCancel(ctx)
+	return ctx2
+}

@@ -1,0 +1,32 @@
+// Package store exercises every wirecompat drift finding against the
+// deliberately stale golden file checked in next to this fixture.
+package store // want "pinned wire/store type fixture/wirecompat_drift/store.Ghost no longer exists"
+
+// solutionRecord is seeded by the built-in registry (package name
+// "store"); the golden entry for it records one field, so the shape
+// below is drift.
+type solutionRecord struct { // want "changed shape"
+	ModelVersion int       `json:"model_version"`
+	Spec         *specData `json:"spec,omitempty"`
+}
+
+// specData joins the boundary set through solutionRecord's field
+// closure; the golden file does not pin it.
+type specData struct { // want "is not pinned"
+	Banks int `json:"banks"`
+}
+
+//wire:boundary
+type extraWire struct { // want "is not pinned"
+	N int `json:"n"`
+}
+
+//wire:boundary
+type legacyRecord struct { //lint:ignore wirecompat fixture: unpinned by design, the suppressed case
+	Old string `json:"old"`
+}
+
+// plain is neither registered nor marked: never fingerprinted.
+type plain struct {
+	X int
+}

@@ -1,0 +1,14 @@
+// Package store is the wirecompat round-trip fixture: the test
+// regenerates its golden with WriteWireDigests and expects the
+// analyzer to come back clean.
+package store
+
+//wire:boundary
+type envelope struct {
+	Version int      `json:"version"`
+	Payload *payload `json:"payload,omitempty"`
+}
+
+type payload struct {
+	Data []byte `json:"data"`
+}
