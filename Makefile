@@ -9,7 +9,7 @@
 # only, see .github/workflows/ci.yml).
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: verify build test vet lint lint-new lint-digests race stress fuzz vulncheck bench bench-sweep bench-compare bench-fabric fabric-test fabric-smoke
+.PHONY: verify build test vet lint lint-new lint-digests race stress fuzz vulncheck bench bench-sweep bench-compare bench-fabric fabric-test fabric-smoke test-tech
 
 verify: vet lint build test race
 
@@ -46,6 +46,21 @@ lint-digests:
 
 race:
 	go test -race ./...
+
+# test-tech runs the technology-provider surface (DESIGN.md §1.9):
+# provider resolution and overlay tables, per-kind mat models and
+# bound-ladder admissibility, the pinned STT-RAM/gain-cell solves, the
+# ITRS byte-identity goldens, and the cross-technology fabric/server
+# integration tests. TECH narrows the per-provider legs of the CI
+# matrix to one provider's subtests (e.g. TECH=stt-ram).
+TECH ?=
+test-tech:
+	go test -run 'Provider|Tech|Kind|GainCell|NVM|Overlay|Resolve|BoundTiers|BoundedEnumerate' \
+		./internal/tech/ ./internal/mat/ ./internal/array/ ./internal/explore/ \
+		./internal/fabric/ ./cmd/cactid-serve/
+ifneq ($(TECH),)
+	go run ./cmd/cactid -tech $(TECH) -size 4MB -assoc 8 -node 32 >/dev/null
+endif
 
 # stress runs the chaos/overload suite under the race detector: the
 # fault-injection tests in internal/chaos and internal/explore plus

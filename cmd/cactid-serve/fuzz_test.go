@@ -24,6 +24,9 @@ func FuzzSolveBody(f *testing.F) {
 	f.Add([]byte(`{"ram":`))
 	f.Add([]byte(``))
 	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"tech":"stt-ram","capacity":"4MB","associativity":8}`))
+	f.Add([]byte(`{"tech":"flashy","capacity":"1MB"}`))
+	f.Add([]byte(`{"tech":"it","capacity":"1MB"}`))
 	f.Add([]byte("{\"ram\":\"sram\",\"capacity\":\"\x00KB\"}"))
 
 	fake := func(_ context.Context, spec core.Spec) (*core.Solution, error) {

@@ -184,6 +184,12 @@ func TestRequestValidation(t *testing.T) {
 			http.StatusUnprocessableEntity},
 		{"grid-too-big", "/v1/sweep", `{"base":{"ram":"sram"},"capacities":["1MB","2MB","4MB"],
 			"associativities":[1,2]}`, http.StatusBadRequest},
+		{"unknown-tech", "/v1/solve", `{"tech":"flashy","capacity":"1MB"}`, http.StatusBadRequest},
+		{"ambiguous-tech", "/v1/solve", `{"tech":"it","capacity":"1MB"}`, http.StatusBadRequest},
+		{"unknown-tech-sweep", "/v1/sweep", `{"base":{"capacity":"64KB"},"techs":["flashy"]}`,
+			http.StatusBadRequest},
+		{"ambiguous-tech-sweep", "/v1/sweep", `{"base":{"capacity":"64KB"},"techs":["itrs-"]}`,
+			http.StatusBadRequest},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -45,6 +45,7 @@ func main() {
 		banks     = flag.Int("banks", 1, "number of banks")
 		node      = flag.Int("node", 32, "technology node in nm (32-90)")
 		ram       = flag.String("ram", "sram", "memory technology: sram, lp-dram, comm-dram")
+		techName  = flag.String("tech", "", "technology provider (itrs, itrs-sram, stt-ram, pcm, gain-cell, ...; empty = itrs)")
 		isCache   = flag.Bool("cache", true, "model a cache (tags + way select)")
 		mode      = flag.String("mode", "normal", "access mode: normal, sequential, or fast")
 		page      = flag.Int("page", 0, "DRAM page size in bits (0 = unconstrained)")
@@ -116,7 +117,7 @@ func main() {
 		fatal(err)
 	}
 	spec := core.Spec{
-		Node: tech.Node(*node), RAM: ramType,
+		Node: tech.Node(*node), RAM: ramType, Technology: *techName,
 		CapacityBytes: capBytes, BlockBytes: *block,
 		Associativity: *assoc, Banks: *banks,
 		IsCache: *isCache && *assoc > 0, Mode: am,
@@ -158,6 +159,10 @@ func main() {
 		sol.Area*1e6, sol.BankArea*1e6, sol.AreaEff*100)
 	fmt.Printf("  read %.3gnJ  write %.3gnJ  leakage %.3gW  refresh %.3gW\n",
 		sol.EReadPerAccess*1e9, sol.EWritePerAccess*1e9, sol.LeakagePower, sol.RefreshPower)
+	if sol.WriteTime > 0 || sol.WriteEndurance > 0 {
+		fmt.Printf("  write completes %.3fns  endurance %.3g cycles\n",
+			sol.WriteTime*1e9, sol.WriteEndurance)
+	}
 	if sol.Tag != nil {
 		fmt.Printf("  tag array: %v\n", sol.Tag.Org)
 	}

@@ -629,7 +629,7 @@ func newBuildCtx(spec Spec) (*buildCtx, error) {
 	bc.shared = make([]atomic.Pointer[sharedEntry], len(enumRows)*len(enumCols))
 	bc.exactPt = make([]atomic.Pointer[pointMetrics], len(enumRows)*len(enumCols)*len(enumMux))
 	bc.bnd = newBounder(bc)
-	if spec.RAM.IsDRAM() && spec.Ports <= 1 {
+	if cell.Kind == tech.Kind1T1C && spec.Ports <= 1 {
 		bc.marginFail = make([]bool, len(enumRows))
 		for i, rows := range enumRows {
 			bc.marginFail[i] = !mat.SignalMarginOK(t, spec.RAM, spec.Ports, rows)
@@ -808,11 +808,13 @@ func (bc *buildCtx) finishInto(o Org, m *mat.Mat, b *Bank) {
 	b.Leakage = matLeak + wireLeak
 	// Refresh: every page (row across the subbank) is activated and
 	// precharged once per retention period, paying the address
-	// distribution overhead per operation.
-	if spec.RAM.IsDRAM() {
+	// distribution overhead per operation. The per-mat page energy is
+	// kind-aware (the gain cell adds an explicit writeback, since its
+	// read does not restore the row).
+	if cell.Kind.NeedsRefresh() {
 		ret := cell.RetentionT
 		opsPerPeriod := float64(o.Subbanks) * float64(o.Rows)
-		ePerOp := eAddr + nAct*(m.EActivate+m.EPrecharge)/1 // per page activation
+		ePerOp := eAddr + nAct*m.RefreshRowEnergy()/1 // per page activation
 		b.RefreshPower = opsPerPeriod * ePerOp / ret
 	}
 

@@ -11,10 +11,26 @@ import (
 )
 
 func boundSpecs() map[string]Spec {
+	// The provider-backed specs prove the bound ladder stays admissible
+	// for the current-mode (NVM) and gain-cell bitline models, not just
+	// the two ITRS kinds the ladder was derived against.
+	techOf := func(name string, n tech.Node) *tech.Technology {
+		t, err := tech.TechnologyOf(name, n)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
 	return map[string]Spec{
 		"sram": specSRAM(1<<20, 512, 1),
 		"comm-dram": {Tech: tech.New(tech.Node45), RAM: tech.COMMDRAM,
 			CapacityBytes: 4 << 20, OutputBits: 512, AssocReadout: 1},
+		"stt-ram": {Tech: techOf("stt-ram", tech.Node32), RAM: tech.STTRAM,
+			CapacityBytes: 2 << 20, OutputBits: 512, AssocReadout: 1},
+		"pcm": {Tech: techOf("pcm", tech.Node45), RAM: tech.PCM,
+			CapacityBytes: 2 << 20, OutputBits: 512, AssocReadout: 1},
+		"gain-cell": {Tech: techOf("gain-cell", tech.Node32), RAM: tech.GAINCELL,
+			CapacityBytes: 2 << 20, OutputBits: 512, AssocReadout: 1},
 	}
 }
 

@@ -83,7 +83,10 @@ func exploreBounded(ctx context.Context, spec Spec, opts *Options) (sols []*Solu
 	if !spec.boundable() {
 		return nil, false, nil
 	}
-	t := tech.New(spec.Node)
+	t, err := tech.TechnologyOf(spec.Technology, spec.Node)
+	if err != nil {
+		return nil, false, err
+	}
 
 	var tag *array.Bank
 	if spec.IsCache {

@@ -70,6 +70,16 @@ type Spec struct {
 	Node tech.Node
 	RAM  tech.RAMType
 
+	// Technology names the technology provider supplying the cell and
+	// device tables (see tech.Providers). Empty or "itrs" selects the
+	// built-in ITRS family, driven by RAM exactly as before providers
+	// existed. Single-technology providers (itrs-sram, stt-ram, pcm,
+	// gain-cell, ...) pin the data-array cell themselves, overriding
+	// the RAM axis, so cross-technology sweeps can hold one grid
+	// constant while this field varies. Aliases and unique prefixes
+	// are accepted; normalize canonicalises.
+	Technology string
+
 	CapacityBytes int64 // total capacity across banks
 	BlockBytes    int   // cache line / access granularity
 	Associativity int   // 1 for direct-mapped or plain memory
@@ -146,6 +156,15 @@ type Solution struct {
 	// Whole-structure standby power (W).
 	LeakagePower float64
 	RefreshPower float64
+
+	// Write-path characteristics of technologies with asymmetric
+	// writes. WriteTime is the per-access write completion time: the
+	// access path plus the cell programming pulse. WriteEndurance is
+	// the storage cell's write endurance in cycles. Both are zero for
+	// technologies without a programming pulse or wear-out limit
+	// (every ITRS cell), keeping them out of serialized output.
+	WriteTime      float64
+	WriteEndurance float64
 }
 
 // Objective computes the normalized weighted objective given the
@@ -201,7 +220,42 @@ func (s *Spec) normalize() error {
 	if s.Node == 0 {
 		s.Node = tech.Node32
 	}
+	// Resolve the technology provider: canonicalise the name (the
+	// default family canonicalises to the empty string, which keeps
+	// pre-provider fingerprints stable) and reject combinations the
+	// provider cannot model.
+	p, err := tech.Resolve(s.Technology)
+	if err != nil {
+		return err
+	}
+	if p.Name() == tech.DefaultTech {
+		s.Technology = ""
+	} else {
+		s.Technology = p.Name()
+	}
+	if _, err := p.DataRAM(s.RAM); err != nil {
+		return err
+	}
+	if s.IsCache && !p.Supports(s.tagRAM()) {
+		return fmt.Errorf("core: technology %q has no %v cell model for tags", p.Name(), s.tagRAM())
+	}
 	return nil
+}
+
+// dataRAM resolves the data-array cell type through the technology
+// provider: the ITRS family echoes RAM; pinned and overlay providers
+// substitute their own cell. normalize has already validated the
+// combination, so errors here cannot occur and fall back to RAM.
+func (s *Spec) dataRAM() tech.RAMType {
+	p, err := tech.Resolve(s.Technology)
+	if err != nil {
+		return s.RAM
+	}
+	r, err := p.DataRAM(s.RAM)
+	if err != nil {
+		return s.RAM
+	}
+	return r
 }
 
 // tagRAM resolves the tag array technology.
@@ -313,7 +367,10 @@ func ExploreContext(ctx context.Context, spec Spec, opts *Options) ([]*Solution,
 	if err := spec.normalize(); err != nil {
 		return nil, err
 	}
-	t := tech.New(spec.Node)
+	t, err := tech.TechnologyOf(spec.Technology, spec.Node)
+	if err != nil {
+		return nil, err
+	}
 
 	// Tag array: optimized once, shared by all data organizations.
 	var tag *array.Bank
@@ -477,7 +534,7 @@ func dataArraySpec(spec Spec, t *tech.Technology) array.Spec {
 	}
 	return array.Spec{
 		Tech:              t,
-		RAM:               spec.RAM,
+		RAM:               spec.dataRAM(),
 		CapacityBytes:     dataCapacity,
 		OutputBits:        outputBits,
 		AssocReadout:      assocReadout,
@@ -590,6 +647,16 @@ func assemble(spec Spec, data *array.Bank, tag *array.Bank, s *Solution) {
 
 	if spec.IncludeBankRouting && spec.Banks > 1 {
 		addBankRouting(spec, s, data)
+	}
+
+	// Asymmetric-write technologies: writes complete only after the
+	// cell programming pulse, and the cell wears out.
+	dcell := data.Spec.Tech.Cell(data.Spec.RAM)
+	if p := dcell.WritePulse; p > 0 {
+		s.WriteTime = s.AccessTime + p
+	}
+	if e := dcell.Endurance; e > 0 {
+		s.WriteEndurance = e
 	}
 }
 

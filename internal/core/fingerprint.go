@@ -62,6 +62,13 @@ func (s Spec) Fingerprint() (string, error) {
 		c.Weights.RandomCycle, c.Weights.InterleaveCycle)
 	fmt.Fprintf(h, "sleep=%t|ports=%d|ecc=%t|route=%t|pa=%d",
 		c.SleepTransistors, c.Ports, c.ECC, c.IncludeBankRouting, c.PhysicalAddressBits)
+	// The technology axis folds in only when it deviates from the
+	// default ITRS family (normalize canonicalises the default to ""),
+	// so every pre-provider fingerprint — including those pinned in
+	// golden files and persisted store keys — is unchanged.
+	if c.Technology != "" {
+		fmt.Fprintf(h, "|tech=%s", c.Technology)
+	}
 	sum := h.Sum(nil)
 	return hex.EncodeToString(sum[:16]), nil
 }

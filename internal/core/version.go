@@ -14,4 +14,12 @@ package core
 // drift, and explore.TestModelVersionTripwire ties a hash of those
 // pinned outputs to this constant — so a numeric change cannot land
 // without touching both the pins and ModelVersion.
-const ModelVersion = 1
+// Version history:
+//   2 — pluggable technology providers: Spec gained the Technology
+//       axis, Solution gained WriteTime/WriteEndurance, and the
+//       persisted/wire record shapes grew accordingly. ITRS numbers
+//       are byte-identical to version 1 (the pinned-output digest did
+//       not move), but records written by mixed-technology fleets are
+//       not interpretable by version-1 readers.
+//   1 — initial persisted-format version.
+const ModelVersion = 2

@@ -37,6 +37,19 @@ func SolutionJSON(s *core.Solution) map[string]any {
 	if s.Tag != nil {
 		m["tag_organization"] = s.Tag.Org.String()
 	}
+	// Technology-axis fields appear only when they carry information:
+	// the default ITRS family (Technology == "" after normalize) and
+	// its symmetric-write cells emit exactly the pre-provider shape,
+	// keeping golden outputs and downstream parsers stable.
+	if s.Spec.Technology != "" {
+		m["technology"] = s.Spec.Technology
+	}
+	if s.WriteTime > 0 {
+		m["write_time_s"] = s.WriteTime
+	}
+	if s.WriteEndurance > 0 {
+		m["write_endurance_cycles"] = s.WriteEndurance
+	}
 	return m
 }
 
@@ -54,6 +67,9 @@ func ResultJSON(r Result) map[string]any {
 			"associativity":  r.Spec.Associativity,
 			"banks":          r.Spec.Banks,
 			"access_mode":    r.Spec.Mode.String(),
+		}
+		if r.Spec.Technology != "" {
+			m["technology"] = r.Spec.Technology
 		}
 		if r.Err != nil {
 			m["error"] = r.Err.Error()

@@ -21,6 +21,11 @@ func FuzzParseSpec(f *testing.F) {
 	f.Add([]byte(`{"weights":{"dynamic_energy":1}}`))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"ram":`))
+	f.Add([]byte(`{"tech":"stt-ram","capacity":"4MB","associativity":8}`))
+	f.Add([]byte(`{"tech":"gain-cell","capacity":"1MB"}`))
+	f.Add([]byte(`{"tech":"flashy"}`))
+	f.Add([]byte(`{"tech":"itrs-"}`))
+	f.Add([]byte(`{"tech":"","ram":"comm-dram"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var req SpecRequest
 		dec := json.NewDecoder(bytes.NewReader(data))
@@ -63,6 +68,9 @@ func FuzzParseGrid(f *testing.F) {
 	f.Add([]byte(`{"base":{},"rams":["sram","lp-dram","comm-dram"],"modes":["normal","fast"]}`))
 	f.Add([]byte(`{"base":{"capacity":"0B"}}`))
 	f.Add([]byte(`{"nodes":[90,65,45,32]}`))
+	f.Add([]byte(`{"base":{"node_nm":32},"techs":["itrs-sram","stt-ram","gain-cell"],"capacities":["64KB"]}`))
+	f.Add([]byte(`{"techs":["pcm","mram"]}`))
+	f.Add([]byte(`{"techs":["it"]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var req SweepRequest
 		dec := json.NewDecoder(bytes.NewReader(data))

@@ -88,6 +88,12 @@ func ParseMode(s string) (core.AccessMode, error) {
 type Grid struct {
 	Base core.Spec
 
+	// Techs sweeps the technology provider (tech.Providers names);
+	// it is the outermost axis. Values should be canonical —
+	// SweepRequest.Grid canonicalises; hand-built grids can pass any
+	// spelling tech.Resolve accepts and the solver canonicalises per
+	// point.
+	Techs      []string
 	Nodes      []tech.Node
 	RAMs       []tech.RAMType
 	Capacities []int64
@@ -111,7 +117,7 @@ func orBase[T any](axis []T, base T) []T {
 // into an Expand whose capacity allocation would then panic.
 func (g Grid) Points() int {
 	n := 1
-	for _, l := range []int{len(g.Nodes), len(g.RAMs), len(g.Capacities),
+	for _, l := range []int{len(g.Techs), len(g.Nodes), len(g.RAMs), len(g.Capacities),
 		len(g.Blocks), len(g.Assocs), len(g.Banks), len(g.Modes)} {
 		if l > 0 {
 			if n > math.MaxInt/l {
@@ -124,12 +130,13 @@ func (g Grid) Points() int {
 }
 
 // Expand enumerates the grid into concrete solver jobs, in
-// deterministic axis-major order (nodes, RAM types, capacities, block
-// sizes, associativities, banks, modes). Points that cannot form a
-// valid organization — capacity not divisible by the bank count, or
-// fewer than one set per bank — are dropped; skipped reports how
-// many.
+// deterministic axis-major order (technologies, nodes, RAM types,
+// capacities, block sizes, associativities, banks, modes). Points
+// that cannot form a valid organization — capacity not divisible by
+// the bank count, or fewer than one set per bank — are dropped;
+// skipped reports how many.
 func (g Grid) Expand() (specs []core.Spec, skipped int) {
+	techs := orBase(g.Techs, g.Base.Technology)
 	nodes := orBase(g.Nodes, g.Base.Node)
 	rams := orBase(g.RAMs, g.Base.RAM)
 	caps := orBase(g.Capacities, g.Base.CapacityBytes)
@@ -139,23 +146,26 @@ func (g Grid) Expand() (specs []core.Spec, skipped int) {
 	modes := orBase(g.Modes, g.Base.Mode)
 
 	specs = make([]core.Spec, 0, g.Points())
-	for _, node := range nodes {
-		for _, ram := range rams {
-			for _, capBytes := range caps {
-				for _, block := range blocks {
-					for _, assoc := range assocs {
-						for _, nb := range banks {
-							for _, mode := range modes {
-								spec := g.Base
-								spec.Node, spec.RAM = node, ram
-								spec.CapacityBytes, spec.BlockBytes = capBytes, block
-								spec.Associativity, spec.Banks = assoc, nb
-								spec.Mode = mode
-								if !feasiblePoint(spec) {
-									skipped++
-									continue
+	for _, tc := range techs {
+		for _, node := range nodes {
+			for _, ram := range rams {
+				for _, capBytes := range caps {
+					for _, block := range blocks {
+						for _, assoc := range assocs {
+							for _, nb := range banks {
+								for _, mode := range modes {
+									spec := g.Base
+									spec.Technology = tc
+									spec.Node, spec.RAM = node, ram
+									spec.CapacityBytes, spec.BlockBytes = capBytes, block
+									spec.Associativity, spec.Banks = assoc, nb
+									spec.Mode = mode
+									if !feasiblePoint(spec) {
+										skipped++
+										continue
+									}
+									specs = append(specs, spec)
 								}
-								specs = append(specs, spec)
 							}
 						}
 					}
@@ -187,6 +197,7 @@ func feasiblePoint(s core.Spec) bool {
 // as the cactid CLI.
 type SpecRequest struct {
 	RAM                  string        `json:"ram,omitempty"`
+	Technology           string        `json:"tech,omitempty"`
 	NodeNM               int           `json:"node_nm,omitempty"`
 	Capacity             string        `json:"capacity,omitempty"`
 	BlockBytes           int           `json:"block_bytes,omitempty"`
@@ -242,6 +253,16 @@ func (r SpecRequest) Spec() (core.Spec, error) {
 		}
 		s.RAM = ram
 	}
+	if r.Technology != "" {
+		// Resolve eagerly so unknown/ambiguous technology names fail
+		// at request-parse time (the server's 400 path), canonicalised
+		// so equivalent spellings share fingerprints.
+		p, err := tech.Resolve(r.Technology)
+		if err != nil {
+			return core.Spec{}, err
+		}
+		s.Technology = p.Name()
+	}
 	mode, err := ParseMode(r.Mode)
 	if err != nil {
 		return core.Spec{}, err
@@ -258,6 +279,7 @@ func (r SpecRequest) Spec() (core.Spec, error) {
 // SweepRequest is the JSON face of Grid.
 type SweepRequest struct {
 	Base            SpecRequest `json:"base"`
+	Technologies    []string    `json:"techs,omitempty"`
 	Nodes           []int       `json:"nodes,omitempty"`
 	RAMs            []string    `json:"rams,omitempty"`
 	Capacities      []string    `json:"capacities,omitempty"`
@@ -274,6 +296,13 @@ func (r SweepRequest) Grid() (Grid, error) {
 		return Grid{}, fmt.Errorf("base: %w", err)
 	}
 	g := Grid{Base: base}
+	for _, s := range r.Technologies {
+		p, err := tech.Resolve(s)
+		if err != nil {
+			return Grid{}, err
+		}
+		g.Techs = append(g.Techs, p.Name())
+	}
 	for _, n := range r.Nodes {
 		g.Nodes = append(g.Nodes, tech.Node(n))
 	}

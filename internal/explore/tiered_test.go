@@ -249,8 +249,12 @@ func TestModelVersionTripwire(t *testing.T) {
 	if testing.Short() {
 		t.Skip("real solver")
 	}
+	// Version 2 bumped for the technology-provider wire-schema change
+	// (Spec.Technology, Solution.WriteTime/WriteEndurance); the digest
+	// is unchanged because the ITRS numbers did not move — the provider
+	// refactor is byte-identical (TestProviderITRSByteIdentical).
 	const (
-		pinnedVersion = 1
+		pinnedVersion = 2
 		pinnedDigest  = "77373d039c5170a40f9bc1f94afcf0612c9ddd34091d9e59ff1c81ea940d0cec"
 	)
 	if core.ModelVersion != pinnedVersion {

@@ -84,6 +84,11 @@ type WireSolution struct {
 	Leakage         float64 `json:"leakage_w"`
 	Refresh         float64 `json:"refresh_w"`
 
+	// Asymmetric-write metrics; zero (and absent from the wire) for
+	// technologies without a programming pulse or wear-out limit.
+	WriteTime      float64 `json:"write_time_s,omitempty"`
+	WriteEndurance float64 `json:"write_endurance_cycles,omitempty"`
+
 	DataOrg    array.Org  `json:"data_org"`
 	DataStages int        `json:"data_pipeline_stages"`
 	TagOrg     *array.Org `json:"tag_org,omitempty"`
@@ -134,6 +139,7 @@ func ToWire(r explore.Result) WireResult {
 			Area:            s.Area, BankArea: s.BankArea, AreaEff: s.AreaEff,
 			ERead: s.EReadPerAccess, EWrite: s.EWritePerAccess,
 			Leakage: s.LeakagePower, Refresh: s.RefreshPower,
+			WriteTime: s.WriteTime, WriteEndurance: s.WriteEndurance,
 		}
 		if s.Data != nil {
 			ws.DataOrg, ws.DataStages = s.Data.Org, s.Data.PipelineStages
@@ -170,6 +176,7 @@ func FromWire(w WireResult) explore.Result {
 			Area:            ws.Area, BankArea: ws.BankArea, AreaEff: ws.AreaEff,
 			EReadPerAccess: ws.ERead, EWritePerAccess: ws.EWrite,
 			LeakagePower: ws.Leakage, RefreshPower: ws.Refresh,
+			WriteTime: ws.WriteTime, WriteEndurance: ws.WriteEndurance,
 			Data: &array.Bank{Org: ws.DataOrg, PipelineStages: ws.DataStages},
 		}
 		if ws.TagOrg != nil {

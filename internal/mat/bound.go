@@ -75,7 +75,7 @@ func GeomLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) (w, h f
 func AccessLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) float64 {
 	cell := t.Cell(ram)
 	acc := t.Device(cell.AccessDevice)
-	isDRAM := ram.IsDRAM()
+	kind := cell.Kind
 	cw, ch := CellDims(t, ram, ports)
 	saW := float64(cols) * cw
 	saH := float64(rows) * ch
@@ -84,7 +84,7 @@ func AccessLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) float
 	// chain delay in front of it is bounded by zero).
 	wlWire := t.WireOf(tech.WireLocal, tech.Copper)
 	gatesPerCell := 2.0
-	if isDRAM {
+	if kind != tech.KindStatic {
 		gatesPerCell = 1.0
 	}
 	cGate := (acc.CgIdealPerWidth + acc.CFringePerWidth) * cell.AccessWidth
@@ -95,23 +95,37 @@ func AccessLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) float
 	// Bitline development: exact closed form (rows decide everything).
 	blWire := t.WireOf(tech.WireLocal, cell.BitlineMaterial)
 	attach := float64(rows)
-	if isDRAM {
+	if kind == tech.Kind1T1C {
 		attach = float64(rows) / 2
 	}
 	cPerCell := acc.CJuncPerWidth*cell.AccessWidth + contactCap
 	cBL := blWire.CPerLen*saH + attach*cPerCell
 	rBL := blWire.RPerLen * saH
-	var tBL float64
-	if isDRAM {
+	tBL := bitlineTime(cell, acc, cBL, rBL)
+	return tWL + tBL + t.SenseAmpDelay
+}
+
+// bitlineTime reproduces NewShared's per-kind bitline development time
+// from the closed-form capacitance — the same expressions, so the
+// bound stays exact for this term. Cells NewShared would reject (a
+// current-mode kind without a read current) bound to +Inf, pruning
+// the shard NewShared would error on anyway.
+func bitlineTime(cell *tech.CellParams, acc *tech.DeviceParams, cBL, rBL float64) float64 {
+	switch cell.Kind {
+	case tech.Kind1T1C:
 		cs := cell.Cs
 		rAcc := dramAccessRes(acc, cell)
 		cShare := cs * cBL / (cs + cBL)
-		tBL = 2.3*rAcc*cShare + 0.38*rBL*cBL
-	} else {
+		return 2.3*rAcc*cShare + 0.38*rBL*cBL
+	case tech.KindStatic:
 		iCell := acc.IonN * cell.AccessWidth / 2
-		tBL = cBL*cell.SenseVmin/iCell + 0.38*rBL*cBL
+		return cBL*cell.SenseVmin/iCell + 0.38*rBL*cBL
+	default:
+		if cell.ReadCurrent <= 0 {
+			return math.Inf(1)
+		}
+		return cBL*cell.SenseVmin/cell.ReadCurrent + 0.38*rBL*cBL
 	}
-	return tWL + tBL + t.SenseAmpDelay
 }
 
 // ShardLB carries the tightened closed-form lower bounds of one
@@ -140,7 +154,8 @@ func NewShardLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) Sha
 	cell := t.Cell(ram)
 	acc := t.Device(cell.AccessDevice)
 	per := t.Device(cell.PeripheralDevice)
-	isDRAM := ram.IsDRAM()
+	kind := cell.Kind
+	isDRAM := kind == tech.Kind1T1C
 	cw, ch := CellDims(t, ram, ports)
 	saW := float64(cols) * cw
 	saH := float64(rows) * ch
@@ -148,7 +163,7 @@ func NewShardLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) Sha
 	// Wordline: driver chain plus distributed RC, both exact.
 	wlWire := t.WireOf(tech.WireLocal, tech.Copper)
 	gatesPerCell := 2.0
-	if isDRAM {
+	if kind != tech.KindStatic {
 		gatesPerCell = 1.0
 	}
 	cGate := (acc.CgIdealPerWidth + acc.CFringePerWidth) * cell.AccessWidth
@@ -173,16 +188,7 @@ func NewShardLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) Sha
 	cPerCell := acc.CJuncPerWidth*cell.AccessWidth + contactCap
 	cBL := blWire.CPerLen*saH + attach*cPerCell
 	rBL := blWire.RPerLen * saH
-	var tBL float64
-	if isDRAM {
-		cs := cell.Cs
-		rAcc := dramAccessRes(acc, cell)
-		cShare := cs * cBL / (cs + cBL)
-		tBL = 2.3*rAcc*cShare + 0.38*rBL*cBL
-	} else {
-		iCell := acc.IonN * cell.AccessWidth / 2
-		tBL = cBL*cell.SenseVmin/iCell + 0.38*rBL*cBL
-	}
+	tBL := bitlineTime(cell, acc, cBL, rBL)
 
 	// Width: two subarrays plus the wordline-driver rows of the
 	// decoder strip (2*dec.Res.Area in NewShared is nonnegative and
@@ -213,20 +219,20 @@ func NewShardLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) Sha
 	return ShardLB{MatW: matW, MatH: matH, Access: tDec + tWL + tBL + t.SenseAmpDelay}
 }
 
-// SignalMarginOK reports whether a DRAM subarray with the given row
+// SignalMarginOK reports whether a 1T1C subarray with the given row
 // count develops enough differential signal — the exact test NewShared
 // applies (ErrSignalMargin), evaluated from the closed-form bitline
 // capacitance so enumeration can discard doomed shards without paying
 // for the circuit model. The expressions mirror NewShared float op for
 // float op, so the outcome is bit-identical to building and checking.
-// Configurations NewShared rejects for other reasons first (non-DRAM
-// cells, multiported DRAM) report true and are left for NewShared to
-// classify.
+// Configurations NewShared rejects for other reasons first (cells
+// without charge sensing, multiported DRAM) report true and are left
+// for NewShared to classify.
 func SignalMarginOK(t *tech.Technology, ram tech.RAMType, ports, rows int) bool {
-	if !ram.IsDRAM() || ports > 1 {
+	cell := t.Cell(ram)
+	if cell.Kind != tech.Kind1T1C || ports > 1 {
 		return true
 	}
-	cell := t.Cell(ram)
 	acc := t.Device(cell.AccessDevice)
 	_, ch := CellDims(t, ram, ports)
 	saH := float64(rows) * ch
@@ -248,20 +254,21 @@ func EnergyLB(t *tech.Technology, ram tech.RAMType, ports, rows, cols int) float
 	cell := t.Cell(ram)
 	acc := t.Device(cell.AccessDevice)
 	per := t.Device(cell.PeripheralDevice)
-	isDRAM := ram.IsDRAM()
+	kind := cell.Kind
+	isDRAM := kind == tech.Kind1T1C
 	cw, ch := CellDims(t, ram, ports)
 	saW := float64(cols) * cw
 	saH := float64(rows) * ch
 
 	wlWire := t.WireOf(tech.WireLocal, tech.Copper)
 	gatesPerCell := 2.0
-	if isDRAM {
+	if kind != tech.KindStatic {
 		gatesPerCell = 1.0
 	}
 	cGate := (acc.CgIdealPerWidth + acc.CFringePerWidth) * cell.AccessWidth
 	cWL := wlWire.CPerLen*saW + float64(cols)*gatesPerCell*cGate
 	vWL := per.Vdd
-	if isDRAM {
+	if cell.Vpp > 0 {
 		vWL = cell.Vpp
 	}
 	eWL := cWL * vWL * vWL

@@ -128,7 +128,8 @@ type Shared struct {
 	cell   *tech.CellParams
 	acc    *tech.DeviceParams
 	per    *tech.DeviceParams
-	isDRAM bool
+	kind   tech.CellKind
+	isDRAM bool // kind == Kind1T1C (destructive read, page sensing)
 
 	cellW, cellH     float64
 	saWidth          float64
@@ -182,18 +183,22 @@ func NewShared(cfg Config) (*Shared, error) {
 	if cfg.Ports < 1 {
 		cfg.Ports = 1
 	}
-	if cfg.Ports > 1 && cfg.RAM.IsDRAM() {
-		return nil, fmt.Errorf("%w: multiported cells are SRAM-only", ErrBadConfig)
-	}
 	cfg.DegBLMux = 0
 
 	t := cfg.Tech
 	cell := t.Cell(cfg.RAM)
+	kind := cell.Kind
+	if cfg.Ports > 1 && kind != tech.KindStatic {
+		return nil, fmt.Errorf("%w: multiported cells are SRAM-only", ErrBadConfig)
+	}
+	if (kind == tech.KindGainCell || kind == tech.KindNVM) && cell.ReadCurrent <= 0 {
+		return nil, fmt.Errorf("%w: %v cell needs a positive read current", ErrBadConfig, kind)
+	}
 	acc := t.Device(cell.AccessDevice)
 	per := t.Device(cell.PeripheralDevice)
-	isDRAM := cfg.RAM.IsDRAM()
+	isDRAM := kind == tech.Kind1T1C
 
-	m := &Shared{cfg: cfg, cell: cell, acc: acc, per: per, isDRAM: isDRAM}
+	m := &Shared{cfg: cfg, cell: cell, acc: acc, per: per, kind: kind, isDRAM: isDRAM}
 
 	f := t.F
 	cellW := cell.CellWidth(f)
@@ -216,10 +221,12 @@ func NewShared(cfg Config) (*Shared, error) {
 	// strapped metal over poly).
 	wlWire := t.WireOf(tech.WireLocal, tech.Copper)
 	wlLen := saWidth
-	// Gate load: SRAM has two access transistors per cell on the
-	// wordline; DRAM one.
+	// Gate load: the static 6T cell has two access transistors per
+	// cell on the wordline; every other kind gates one device per
+	// wordline (DRAM's access transistor, the gain cell's write or
+	// read device, the NVM select transistor).
 	gatesPerCell := 2.0
-	if isDRAM {
+	if kind != tech.KindStatic {
 		gatesPerCell = 1.0
 	}
 	cGate := (acc.CgIdealPerWidth + acc.CFringePerWidth) * cell.AccessWidth
@@ -234,9 +241,10 @@ func NewShared(cfg Config) (*Shared, error) {
 	m.tWordline = wlChain.Res.Delay + tWLrc
 	m.wlRes = wlChain.Res
 
-	// Wordline swing voltage: boosted for DRAM.
+	// Wordline swing voltage: boosted whenever the cell defines a
+	// pumped level (DRAM always; the gain cell's write wordline).
 	vWL := per.Vdd
-	if isDRAM {
+	if cell.Vpp > 0 {
 		vWL = cell.Vpp
 	}
 	m.eWL = cWL * vWL * vWL // full swing up and down per activation
@@ -254,8 +262,8 @@ func NewShared(cfg Config) (*Shared, error) {
 	// ---- Bitline ----
 	blWire := t.WireOf(tech.WireLocal, cell.BitlineMaterial)
 	blLen := saHeight
-	// Cells attached per bitline: every row for SRAM; every other
-	// row for the folded DRAM array.
+	// Cells attached per bitline: every other row for the folded
+	// 1T1C array; every row for everything else.
 	attach := float64(cfg.Rows)
 	if isDRAM {
 		attach = float64(cfg.Rows) / 2
@@ -265,7 +273,8 @@ func NewShared(cfg Config) (*Shared, error) {
 	rBL := blWire.RPerLen * blLen
 	m.cBitline = cBL
 
-	if isDRAM {
+	switch kind {
+	case tech.Kind1T1C:
 		// Charge redistribution: cell cap shares with the bitline.
 		cs := cell.Cs
 		m.vSignal = (cell.Vdd / 2) * cs / (cs + cBL)
@@ -278,13 +287,20 @@ func NewShared(cfg Config) (*Shared, error) {
 		rAcc := dramAccessRes(acc, cell)
 		cShare := cs * cBL / (cs + cBL)
 		m.tBitline = 2.3*rAcc*cShare + 0.38*rBL*cBL
-	} else {
+	case tech.KindStatic:
 		// SRAM: the cell pulls one bitline down through the
 		// access/driver stack until the differential reaches the
 		// sense minimum.
 		iCell := acc.IonN * cell.AccessWidth / 2 // two-device stack
 		m.vSignal = cell.SenseVmin
 		m.tBitline = cBL*cell.SenseVmin/iCell + 0.38*rBL*cBL
+	default:
+		// Current-mode cells (gain cell read device, NVM storage
+		// element): a fixed cell current discharges the bitline to
+		// the sense threshold; no signal-margin cliff — longer
+		// bitlines just develop more slowly.
+		m.vSignal = cell.SenseVmin
+		m.tBitline = cBL*cell.SenseVmin/cell.ReadCurrent + 0.38*rBL*cBL
 	}
 
 	// ---- Restore / writeback and precharge ----
@@ -328,8 +344,12 @@ func NewShared(cfg Config) (*Shared, error) {
 		m.eBLAct = float64(cfg.Cols) * cBL * cell.SenseVmin * vdd
 	}
 	m.eActPrefix = dec.Res.Energy + wlChain.Res.Energy + m.eWL + m.eBLAct
-	// Writing one bit drives its bitline pair full swing.
+	// Writing one bit drives its bitline pair full swing; NVM cells
+	// additionally pay the storage-element switching energy.
 	m.eWritePerBit = cBL * vdd * vdd * 0.5
+	if kind == tech.KindNVM {
+		m.eWritePerBit += cell.EWriteCell
+	}
 	if isDRAM {
 		m.ePrecharge = float64(subarraysPerMat) * float64(cfg.Cols) * cBL * (vdd / 2) * (vdd / 2)
 	} else {
@@ -337,9 +357,12 @@ func NewShared(cfg Config) (*Shared, error) {
 	}
 
 	// ---- Leakage (mux-independent terms) ----
-	if !isDRAM {
+	if kind == tech.KindStatic {
 		// 6T cell: access + pull-down/pull-up subthreshold paths,
-		// plus two access transistors per extra port.
+		// plus two access transistors per extra port. Other kinds
+		// have no rail-to-rail cell path: the 1T1C and gain cells
+		// leak into the storage node (paid as refresh), and NVM
+		// elements hold state without bias.
 		m.cellLeak = vdd * acc.IoffN * cell.AccessWidth * (4.5 + 2*float64(cfg.Ports-1))
 	}
 	m.nCells = float64(subarraysPerMat) * float64(cfg.Rows) * float64(cfg.Cols)
@@ -461,10 +484,19 @@ func (s *Shared) BuildInto(mux int, parts *MuxParts, m *Mat) error {
 		float64(subarraysPerMat)*(s.leakStaticPrefix+sa.Leakage+colSel.Leakage)
 
 	// ---- Refresh ----
-	if s.isDRAM {
+	switch s.kind {
+	case tech.Kind1T1C:
 		// Every row of every subarray must be activated and
-		// precharged once per retention period.
+		// precharged once per retention period; the destructive read
+		// restores the row as a side effect.
 		ePerRowRefresh := (m.EActivate + m.EPrecharge) / float64(subarraysPerMat)
+		m.RefreshPower = float64(subarraysPerMat) * float64(cfg.Rows) * ePerRowRefresh / cell.RetentionT
+	case tech.KindGainCell:
+		// The gain cell's read is non-destructive and does not
+		// restore, so a refresh must activate the row AND explicitly
+		// write every cell back through the write port.
+		ePerRowRefresh := (m.EActivate+m.EPrecharge)/float64(subarraysPerMat) +
+			float64(cfg.Cols)*s.eWritePerBit
 		m.RefreshPower = float64(subarraysPerMat) * float64(cfg.Rows) * ePerRowRefresh / cell.RetentionT
 	}
 
@@ -499,3 +531,19 @@ func (m *Mat) RandomCycleTime() float64 {
 // AreaEfficiency returns the fraction of the mat footprint occupied by
 // cells.
 func (m *Mat) AreaEfficiency() float64 { return m.CellArea / m.Area }
+
+// RefreshRowEnergy returns the energy one mat spends refreshing one
+// page (the same row of all four subarrays): activation plus
+// precharge, and — for the non-restoring gain cell — the explicit
+// writeback of every cell in the page. Zero for kinds that hold state
+// without refresh.
+func (m *Mat) RefreshRowEnergy() float64 {
+	switch m.Tech.Cell(m.RAM).Kind {
+	case tech.Kind1T1C:
+		return m.EActivate + m.EPrecharge
+	case tech.KindGainCell:
+		return m.EActivate + m.EPrecharge +
+			float64(subarraysPerMat)*float64(m.Cols)*m.EWritePerBit
+	}
+	return 0
+}

@@ -69,6 +69,8 @@ type solutionRecord struct {
 	EWritePerAccess float64 `json:"write_energy_j,omitempty"`
 	LeakagePower    float64 `json:"leakage_w,omitempty"`
 	RefreshPower    float64 `json:"refresh_w,omitempty"`
+	WriteTime       float64 `json:"write_time_s,omitempty"`
+	WriteEndurance  float64 `json:"write_endurance_cycles,omitempty"`
 
 	DataOrg            *array.Org `json:"data_org,omitempty"`
 	DataPipelineStages int        `json:"data_pipeline_stages,omitempty"`
@@ -127,6 +129,8 @@ func (t *Solutions) Lookup(ctx context.Context, fingerprint string) (Hit, bool) 
 		EWritePerAccess: rec.EWritePerAccess,
 		LeakagePower:    rec.LeakagePower,
 		RefreshPower:    rec.RefreshPower,
+		WriteTime:       rec.WriteTime,
+		WriteEndurance:  rec.WriteEndurance,
 	}
 	if rec.TagOrg != nil {
 		sol.Tag = &array.Bank{Org: *rec.TagOrg}
@@ -159,6 +163,8 @@ func (t *Solutions) Save(ctx context.Context, fingerprint string, sol *core.Solu
 		rec.EWritePerAccess = sol.EWritePerAccess
 		rec.LeakagePower = sol.LeakagePower
 		rec.RefreshPower = sol.RefreshPower
+		rec.WriteTime = sol.WriteTime
+		rec.WriteEndurance = sol.WriteEndurance
 		org := sol.Data.Org
 		rec.DataOrg = &org
 		rec.DataPipelineStages = sol.Data.PipelineStages

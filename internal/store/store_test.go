@@ -450,6 +450,22 @@ func TestSolutionsModelVersionMismatch(t *testing.T) {
 	if _, ok := tier.Lookup(ctx, "fp-stale"); ok {
 		t.Fatal("stale model version served")
 	}
+
+	// The pre-provider format (version 1, before the technology axis
+	// and the write metrics existed): even a well-formed old record
+	// under the current key must be rejected by the payload check, and
+	// a record under its own version-1 key namespace must be plain
+	// unreachable — Lookup keys by the current ModelVersion.
+	v1Payload := fmt.Sprintf(`{"model_version":%d,"no_solution":true}`, core.ModelVersion-1)
+	mustPut(t, s, solutionKey("fp-v1-payload"), []byte(v1Payload))
+	if _, ok := tier.Lookup(ctx, "fp-v1-payload"); ok {
+		t.Fatal("version-1 payload served under a current key")
+	}
+	v1Key := fmt.Sprintf("s:%d:fp-v1-keyed", core.ModelVersion-1)
+	mustPut(t, s, v1Key, []byte(v1Payload))
+	if _, ok := tier.Lookup(ctx, "fp-v1-keyed"); ok {
+		t.Fatal("version-1-keyed record reachable through the current namespace")
+	}
 }
 
 func TestFlushIndexFrontierConsistency(t *testing.T) {

@@ -80,13 +80,14 @@ func wires(node Node) (cu, w [numWireClasses]WireParams) {
 	return cu, w
 }
 
-func cells(node Node) [3]CellParams {
+func cells(node Node) [numRAMTypes]CellParams {
 	f := node.FeatureSize()
 	idx := map[Node]int{Node90: 0, Node65: 1, Node45: 2, Node32: 3}[node]
 	pick := func(v [4]float64) float64 { return v[idx] }
 
 	sram := CellParams{
 		RAM:              SRAM,
+		Kind:             KindStatic,
 		AreaF2:           146,
 		WidthF:           14.6,
 		HeightF:          10,
@@ -100,6 +101,7 @@ func cells(node Node) [3]CellParams {
 	}
 	lp := CellParams{
 		RAM:              LPDRAM,
+		Kind:             Kind1T1C,
 		AreaF2:           pick([4]float64{20, 24, 27, 30}),
 		WidthF:           pick([4]float64{5.0, 5.4, 5.7, 6.0}),
 		HeightF:          pick([4]float64{4.0, 4.45, 4.75, 5.0}),
@@ -115,6 +117,7 @@ func cells(node Node) [3]CellParams {
 	}
 	comm := CellParams{
 		RAM:              COMMDRAM,
+		Kind:             Kind1T1C,
 		AreaF2:           6,
 		WidthF:           3,
 		HeightF:          2,
@@ -128,7 +131,9 @@ func cells(node Node) [3]CellParams {
 		AccessWidth:      1.0 * f,
 		SenseVmin:        0.07,
 	}
-	return [3]CellParams{sram, lp, comm}
+	var out [numRAMTypes]CellParams
+	out[SRAM], out[LPDRAM], out[COMMDRAM] = sram, lp, comm
+	return out
 }
 
 func buildTech(n Node, devs [numDeviceTypes]DeviceParams, saDelay, saEnergy float64) *Technology {

@@ -1,0 +1,44 @@
+package tech
+
+// Gain-cell table for the gain-cell provider: a logic-compatible 2T
+// cell in which a low-leakage write transistor charges a storage node
+// that gates a separate read transistor. Reads are non-destructive
+// current-mode (the read device discharges the read bitline), writes
+// drive the write bitline full swing under a boosted write wordline,
+// and the leaking storage node makes refresh retention-driven like
+// the paper's LP-DRAM path — but a refresh must re-read AND write
+// back each row, since the read does not restore.
+//
+// The configuration follows the 2T gain-cell organization of Waqar et
+// al., "Monolithic 3D stacked gain-cell memory as last-level cache"
+// (arXiv:2503.06304): ~3x the density of 6T SRAM, LP-DRAM-class
+// low-leakage write access device, and retention set by storage-node
+// leakage — hundreds of microseconds on a silicon logic process,
+// shrinking with the node as leakage grows. Per-parameter provenance
+// is tabulated in DESIGN.md §1.9.
+var gainCellCells = map[Node]CellParams{
+	Node90: gainCell(10.0, 6.0, 1.1, 1.6, 500e-6, 35e-6, 0.08, Node90.FeatureSize()),
+	Node65: gainCell(9.5, 5.8, 1.0, 1.5, 300e-6, 38e-6, 0.08, Node65.FeatureSize()),
+	Node45: gainCell(9.0, 5.55, 0.95, 1.4, 180e-6, 40e-6, 0.08, Node45.FeatureSize()),
+	Node32: gainCell(8.8, 5.25, 0.9, 1.3, 100e-6, 42e-6, 0.08, Node32.FeatureSize()),
+}
+
+func gainCell(wF, hF, vdd, vpp, retention, iRead, senseV, f float64) CellParams {
+	return CellParams{
+		RAM:              GAINCELL,
+		Kind:             KindGainCell,
+		AreaF2:           wF * hF,
+		WidthF:           wF,
+		HeightF:          hF,
+		Vdd:              vdd,
+		Vpp:              vpp, // boosted write wordline recovers the Vth drop
+		Cs:               1e-15,
+		RetentionT:       retention,
+		AccessDevice:     LPDRAMAccess, // low-leakage logic-compatible write device
+		PeripheralDevice: HPLongChannel,
+		BitlineMaterial:  Copper,
+		AccessWidth:      1.2 * f,
+		SenseVmin:        senseV,
+		ReadCurrent:      iRead,
+	}
+}

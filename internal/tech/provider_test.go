@@ -1,0 +1,172 @@
+package tech
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestResolveSpellings(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "itrs"},
+		{"itrs", "itrs"},
+		{"default", "itrs"},
+		{"ITRS", "itrs"},
+		{"  itrs  ", "itrs"},
+		{"itrs-sram", "itrs-sram"},
+		{"lp-dram", "itrs-lpdram"},
+		{"comm-dram", "itrs-commdram"},
+		{"stt-ram", "stt-ram"},
+		{"sttram", "stt-ram"},
+		{"STT", "stt-ram"},
+		{"mram", "stt-ram"},
+		{"pcm", "pcm"},
+		{"phase-change", "pcm"},
+		{"pha", "pcm"}, // unique prefix of an alias
+		{"gain-cell", "gain-cell"},
+		{"gaincell", "gain-cell"},
+		{"gc-edram", "gain-cell"},
+		{"ga", "gain-cell"}, // unique prefix
+	}
+	for _, c := range cases {
+		p, err := Resolve(c.in)
+		if err != nil {
+			t.Errorf("Resolve(%q): %v", c.in, err)
+			continue
+		}
+		if p.Name() != c.want {
+			t.Errorf("Resolve(%q) = %q, want %q", c.in, p.Name(), c.want)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	if _, err := Resolve("flashy"); !errors.Is(err, ErrUnknownTech) {
+		t.Errorf("unknown name: err = %v", err)
+	} else if !strings.Contains(err.Error(), "itrs, itrs-sram") {
+		t.Errorf("unknown-name error does not list providers: %v", err)
+	}
+	// "it" prefixes every ITRS family member; "itrs-" all but the default.
+	for _, in := range []string{"it", "itrs-"} {
+		if _, err := Resolve(in); !errors.Is(err, ErrAmbiguousTech) {
+			t.Errorf("Resolve(%q): err = %v, want ErrAmbiguousTech", in, err)
+		} else if !strings.Contains(err.Error(), "itrs-sram") {
+			t.Errorf("ambiguous error does not list candidates: %v", err)
+		}
+	}
+}
+
+// Registration order is fixed: the registry is an ordered slice, never
+// a map, because provider resolution sits inside the solver's
+// byte-identity cone and error messages must be deterministic.
+func TestProvidersOrderPinned(t *testing.T) {
+	want := []string{"itrs", "itrs-sram", "itrs-lpdram", "itrs-commdram",
+		"stt-ram", "pcm", "gain-cell"}
+	if got := Providers(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Providers() = %v, want %v", got, want)
+	}
+}
+
+func TestDataRAMPinning(t *testing.T) {
+	def, _ := Resolve("")
+	if r, err := def.DataRAM(LPDRAM); err != nil || r != LPDRAM {
+		t.Errorf("default DataRAM(LPDRAM) = %v, %v", r, err)
+	}
+	if _, err := def.DataRAM(STTRAM); err == nil {
+		t.Error("default provider accepted STTRAM on the ram axis")
+	}
+	// Pinned providers override the ram axis so a sweep can hold the
+	// geometry grid fixed while only the technology varies.
+	for name, want := range map[string]RAMType{
+		"itrs-sram": SRAM, "itrs-lpdram": LPDRAM, "itrs-commdram": COMMDRAM,
+		"stt-ram": STTRAM, "pcm": PCM, "gain-cell": GAINCELL,
+	} {
+		p, _ := Resolve(name)
+		if r, err := p.DataRAM(SRAM); err != nil || r != want {
+			t.Errorf("%s.DataRAM(SRAM) = %v, %v; want %v", name, r, err, want)
+		}
+	}
+}
+
+// Overlay providers must keep the ITRS peripheral process and cells
+// (tag arrays depend on them) while swapping only their own data-cell
+// slot.
+func TestOverlayKeepsITRSProcess(t *testing.T) {
+	base := New(Node32)
+	for _, name := range []string{"stt-ram", "pcm", "gain-cell"} {
+		p, _ := Resolve(name)
+		ram, _ := p.DataRAM(SRAM)
+		tt, err := p.Technology(Node32)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(tt.Devices, base.Devices) {
+			t.Errorf("%s: device tables diverged from ITRS", name)
+		}
+		if !reflect.DeepEqual(tt.Cells[SRAM], base.Cells[SRAM]) {
+			t.Errorf("%s: SRAM tag cell diverged from ITRS", name)
+		}
+		if tt.Cells[ram].Kind == KindStatic || tt.Cells[ram].Vdd <= 0 {
+			t.Errorf("%s: data cell slot not populated: %+v", name, tt.Cells[ram])
+		}
+	}
+}
+
+// At a non-base node the overlay cell is log-interpolated between its
+// bracketing base nodes, the same scheme as the ITRS tables: every
+// parameter must land strictly inside (or on) the bracketing values.
+func TestOverlayInterpolation(t *testing.T) {
+	p, _ := Resolve("stt-ram")
+	ram, _ := p.DataRAM(SRAM)
+	lo, err1 := p.Technology(Node45)
+	hi, err2 := p.Technology(Node65)
+	mid, err3 := p.Technology(Node(50))
+	if err1 != nil || err2 != nil || err3 != nil {
+		t.Fatal(err1, err2, err3)
+	}
+	between := func(name string, v, a, b float64) {
+		loV, hiV := a, b
+		if loV > hiV {
+			loV, hiV = hiV, loV
+		}
+		if v < loV || v > hiV {
+			t.Errorf("%s = %g outside bracket [%g, %g]", name, v, loV, hiV)
+		}
+	}
+	c, cLo, cHi := mid.Cells[ram], lo.Cells[ram], hi.Cells[ram]
+	between("Vdd", c.Vdd, cLo.Vdd, cHi.Vdd)
+	between("ReadCurrent", c.ReadCurrent, cLo.ReadCurrent, cHi.ReadCurrent)
+	between("WritePulse", c.WritePulse, cLo.WritePulse, cHi.WritePulse)
+	between("EWriteCell", c.EWriteCell, cLo.EWriteCell, cHi.EWriteCell)
+	if c.Kind != KindNVM {
+		t.Errorf("interpolated cell lost its kind: %v", c.Kind)
+	}
+	// Endurance is flat across the STT-RAM table, so interpolation must
+	// reproduce it (up to log-mix rounding).
+	if d := c.Endurance/cLo.Endurance - 1; d > 1e-12 || d < -1e-12 {
+		t.Errorf("endurance drifted under interpolation: %g vs %g", c.Endurance, cLo.Endurance)
+	}
+}
+
+func TestTechnologyOfBadNode(t *testing.T) {
+	for _, name := range []string{"itrs", "stt-ram"} {
+		if _, err := TechnologyOf(name, Node(22)); err == nil {
+			t.Errorf("%s at 22nm: expected node-range error", name)
+		}
+	}
+}
+
+func TestCellKindPredicates(t *testing.T) {
+	if !Kind1T1C.DestructiveRead() || KindStatic.DestructiveRead() ||
+		KindGainCell.DestructiveRead() || KindNVM.DestructiveRead() {
+		t.Error("DestructiveRead: only 1T1C reads destructively")
+	}
+	if !Kind1T1C.NeedsRefresh() || !KindGainCell.NeedsRefresh() ||
+		KindStatic.NeedsRefresh() || KindNVM.NeedsRefresh() {
+		t.Error("NeedsRefresh: exactly the capacitor-storage kinds refresh")
+	}
+}

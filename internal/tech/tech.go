@@ -195,7 +195,27 @@ const (
 	SRAM RAMType = iota
 	LPDRAM
 	COMMDRAM
+	// STTRAM is a spin-transfer-torque magnetic RAM cell (1T-1MTJ):
+	// non-volatile, non-destructive current-mode read, slow and
+	// energy-hungry writes, finite write endurance. Modeled by the
+	// stt-ram provider.
+	STTRAM
+	// PCM is a phase-change memory cell: non-volatile with the same
+	// asymmetric-write shape as STT-RAM but denser, slower to write
+	// and with far lower endurance. Modeled by the pcm provider.
+	PCM
+	// GAINCELL is a logic-compatible 2T gain cell: a write transistor
+	// charges a storage node that gates a separate read transistor, so
+	// reads are non-destructive current-mode, but the node leaks and
+	// the array needs retention-driven refresh like the paper's
+	// LP-DRAM path. Modeled by the gain-cell provider.
+	GAINCELL
+	numRAMTypes
 )
+
+// NumRAMTypes is the number of RAMType values (for bounds checks in
+// packages that receive a RAMType over the wire).
+const NumRAMTypes = int(numRAMTypes)
 
 func (r RAMType) String() string {
 	switch r {
@@ -205,6 +225,12 @@ func (r RAMType) String() string {
 		return "LP-DRAM"
 	case COMMDRAM:
 		return "COMM-DRAM"
+	case STTRAM:
+		return "STT-RAM"
+	case PCM:
+		return "PCM"
+	case GAINCELL:
+		return "GAIN-CELL"
 	}
 	return fmt.Sprintf("RAMType(%d)", int(r))
 }
@@ -213,10 +239,64 @@ func (r RAMType) String() string {
 // readout, refresh, boosted wordline).
 func (r RAMType) IsDRAM() bool { return r == LPDRAM || r == COMMDRAM }
 
+// CellKind classifies the circuit behavior of a storage cell — the
+// property the mat model branches on. The ITRS RAM types map onto
+// KindStatic (SRAM) and Kind1T1C (LP-DRAM, COMM-DRAM); the emerging
+// technology providers add the other two kinds behind the same
+// interface.
+type CellKind int
+
+const (
+	// KindStatic is a differential static cell (6T SRAM): voltage-mode
+	// read through a two-device stack, no refresh, no wordline boost.
+	KindStatic CellKind = iota
+	// Kind1T1C is a destructive-read DRAM cell: charge-redistribution
+	// read with a signal-margin limit, boosted wordline, full restore
+	// after every read and retention-driven refresh.
+	Kind1T1C
+	// KindGainCell is a 2T/3T gain cell: the storage node gates a
+	// separate read device, so reads are non-destructive current-mode,
+	// but the node leaks and needs retention-driven refresh
+	// (re-read + write back).
+	KindGainCell
+	// KindNVM is a resistive non-volatile cell (STT-RAM, PCM):
+	// non-destructive current-mode read, no refresh, and asymmetric
+	// writes — an extra per-cell switching pulse and energy, with
+	// finite write endurance.
+	KindNVM
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case Kind1T1C:
+		return "1T1C"
+	case KindGainCell:
+		return "gain-cell"
+	case KindNVM:
+		return "nvm"
+	}
+	return fmt.Sprintf("CellKind(%d)", int(k))
+}
+
+// DestructiveRead reports whether a read wipes the cell and must be
+// followed by a restore (only the 1T1C DRAM cell).
+func (k CellKind) DestructiveRead() bool { return k == Kind1T1C }
+
+// NeedsRefresh reports whether the cell loses state over time and the
+// array must schedule retention-driven refresh.
+func (k CellKind) NeedsRefresh() bool { return k == Kind1T1C || k == KindGainCell }
+
 // CellParams describes the storage cell of one RAM type at one node.
 // This is the data behind Table 1 of the paper.
 type CellParams struct {
 	RAM RAMType
+
+	// Kind selects the mat model's circuit branches (read mechanism,
+	// restore, refresh, write asymmetry). The zero value is
+	// KindStatic.
+	Kind CellKind
 
 	AreaF2     float64 // cell area in F^2 (146 SRAM, 30 LP-DRAM, 6 COMM-DRAM)
 	WidthF     float64 // cell width along the wordline, in F
@@ -238,6 +318,26 @@ type CellParams struct {
 	// SenseVmin is the minimum bitline differential required by the
 	// sense amplifier (V).
 	SenseVmin float64
+
+	// ReadCurrent is the absolute cell read current (A) for
+	// current-mode readout cells (KindGainCell: the read transistor's
+	// drive; KindNVM: the current through the storage element). Zero
+	// for voltage-mode cells.
+	ReadCurrent float64
+
+	// WritePulse is the extra per-cell switching time a write needs
+	// beyond the bitline swing (s) — the STT/PCM programming pulse.
+	// Zero for cells with symmetric writes.
+	WritePulse float64
+
+	// EWriteCell is the per-cell switching energy of a write (J),
+	// added on top of the bitline charging energy. Zero for charge-
+	// based cells.
+	EWriteCell float64
+
+	// Endurance is the cell's write endurance in cycles; zero means
+	// effectively unlimited.
+	Endurance float64
 }
 
 // CellArea returns the cell area in m^2 for feature size f (meters).
@@ -260,7 +360,10 @@ type Technology struct {
 	// TungstenWires mirrors Wires with tungsten conductors
 	// (used for COMM-DRAM bitlines).
 	TungstenWires [numWireClasses]WireParams
-	Cells         [3]CellParams
+	// Cells is indexed by RAMType. The ITRS slots (SRAM, LP-DRAM,
+	// COMM-DRAM) are always populated; emerging-technology slots are
+	// filled by their providers (an unpopulated slot has AreaF2 0).
+	Cells [numRAMTypes]CellParams
 
 	// SenseAmpDelay and SenseAmpEnergy are fixed per-sense-amp
 	// figures at this node (latch-type amplifier).
@@ -342,27 +445,65 @@ func nodesSorted() []Node {
 	return ns
 }
 
-// interpolate builds a Technology for a non-ITRS node by log-linear
-// interpolation between the bracketing base nodes.
-func interpolate(n Node) *Technology {
+// bracket returns the base nodes surrounding n (lo has the larger
+// feature size) and the interpolation weight in log-feature-size
+// space — the shared seed of every table interpolation, including the
+// provider cell tables.
+func bracket(n Node) (lo, hi Node, w float64) {
 	ns := nodesSorted()
-	var lo, hi Node // lo has larger feature size
 	for i := 0; i+1 < len(ns); i++ {
 		if ns[i] >= n && n >= ns[i+1] {
 			lo, hi = ns[i], ns[i+1]
 			break
 		}
 	}
-	a, b := baseTechnologies[lo], baseTechnologies[hi]
-	// Interpolation weight in log-feature-size space.
-	w := (math.Log(float64(lo)) - math.Log(float64(n))) /
+	w = (math.Log(float64(lo)) - math.Log(float64(n))) /
 		(math.Log(float64(lo)) - math.Log(float64(hi)))
-	mix := func(x, y float64) float64 {
-		if x <= 0 || y <= 0 {
-			return x + w*(y-x)
-		}
-		return math.Exp(math.Log(x) + w*(math.Log(y)-math.Log(x)))
+	return lo, hi, w
+}
+
+// mixAt log-linearly interpolates a positive quantity with weight w,
+// falling back to linear mixing when either endpoint is nonpositive.
+func mixAt(w, x, y float64) float64 {
+	if x <= 0 || y <= 0 {
+		return x + w*(y-x)
 	}
+	return math.Exp(math.Log(x) + w*(math.Log(y)-math.Log(x)))
+}
+
+// mixCell interpolates every field of a cell table entry; the
+// discrete fields (kind, device families, material) come from the
+// larger-feature-size endpoint.
+func mixCell(ca, cb CellParams, w float64) CellParams {
+	mix := func(x, y float64) float64 { return mixAt(w, x, y) }
+	return CellParams{
+		RAM:              ca.RAM,
+		Kind:             ca.Kind,
+		AreaF2:           mix(ca.AreaF2, cb.AreaF2),
+		WidthF:           mix(ca.WidthF, cb.WidthF),
+		HeightF:          mix(ca.HeightF, cb.HeightF),
+		Vdd:              mix(ca.Vdd, cb.Vdd),
+		Vpp:              mix(ca.Vpp, cb.Vpp),
+		Cs:               mix(ca.Cs, cb.Cs),
+		RetentionT:       mixRetention(ca.RetentionT, cb.RetentionT, w),
+		AccessDevice:     ca.AccessDevice,
+		PeripheralDevice: ca.PeripheralDevice,
+		BitlineMaterial:  ca.BitlineMaterial,
+		AccessWidth:      mix(ca.AccessWidth, cb.AccessWidth),
+		SenseVmin:        mix(ca.SenseVmin, cb.SenseVmin),
+		ReadCurrent:      mix(ca.ReadCurrent, cb.ReadCurrent),
+		WritePulse:       mix(ca.WritePulse, cb.WritePulse),
+		EWriteCell:       mix(ca.EWriteCell, cb.EWriteCell),
+		Endurance:        mix(ca.Endurance, cb.Endurance),
+	}
+}
+
+// interpolate builds a Technology for a non-ITRS node by log-linear
+// interpolation between the bracketing base nodes.
+func interpolate(n Node) *Technology {
+	lo, hi, w := bracket(n)
+	a, b := baseTechnologies[lo], baseTechnologies[hi]
+	mix := func(x, y float64) float64 { return mixAt(w, x, y) }
 	t := &Technology{Node: n, F: n.FeatureSize()}
 	for i := range t.Devices {
 		da, db := a.Devices[i], b.Devices[i]
@@ -407,21 +548,10 @@ func interpolate(n Node) *Technology {
 	}
 	for i := range t.Cells {
 		ca, cb := a.Cells[i], b.Cells[i]
-		t.Cells[i] = CellParams{
-			RAM:              ca.RAM,
-			AreaF2:           mix(ca.AreaF2, cb.AreaF2),
-			WidthF:           mix(ca.WidthF, cb.WidthF),
-			HeightF:          mix(ca.HeightF, cb.HeightF),
-			Vdd:              mix(ca.Vdd, cb.Vdd),
-			Vpp:              mix(ca.Vpp, cb.Vpp),
-			Cs:               mix(ca.Cs, cb.Cs),
-			RetentionT:       mixRetention(ca.RetentionT, cb.RetentionT, w),
-			AccessDevice:     ca.AccessDevice,
-			PeripheralDevice: ca.PeripheralDevice,
-			BitlineMaterial:  ca.BitlineMaterial,
-			AccessWidth:      mix(ca.AccessWidth, cb.AccessWidth),
-			SenseVmin:        mix(ca.SenseVmin, cb.SenseVmin),
+		if ca.AreaF2 == 0 && cb.AreaF2 == 0 {
+			continue // unpopulated provider slot
 		}
+		t.Cells[i] = mixCell(ca, cb, w)
 	}
 	t.SenseAmpDelay = mix(a.SenseAmpDelay, b.SenseAmpDelay)
 	t.SenseAmpEnergy = mix(a.SenseAmpEnergy, b.SenseAmpEnergy)
